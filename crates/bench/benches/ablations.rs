@@ -1,0 +1,23 @@
+//! Beyond-paper ablations: search mode, swap-buffer capacity, HR
+//! retention and LR sizing — prints all four studies and benchmarks the
+//! cheapest one.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sttgpu_experiments::ablations;
+
+fn bench(c: &mut Criterion) {
+    let plan = sttgpu_bench::print_plan();
+    sttgpu_bench::banner("Ablations", &ablations::render(&plan));
+
+    let measure = sttgpu_bench::measure_plan();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("buffer_capacity_sweep", |b| {
+        b.iter(|| black_box(ablations::buffer_capacity(&measure).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

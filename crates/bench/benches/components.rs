@@ -1,0 +1,109 @@
+//! Component microbenchmarks: the hot paths of the cache substrate, the
+//! two-part LLC and the warp-program generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use sttgpu_cache::{AccessKind, BankArbiter, MshrTable, ReplacementPolicy, SetAssocCache};
+use sttgpu_core::{LlcModel, TwoPartConfig, TwoPartLlc};
+use sttgpu_sim::program::WarpProgram;
+use sttgpu_sim::KernelParams;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("components/setassoc_lookup_hit", |b| {
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(768, 7, 256, ReplacementPolicy::Lru);
+        for la in 0..4096u64 {
+            cache.fill(la, false, 0);
+        }
+        let mut la = 0u64;
+        b.iter(|| {
+            la = (la + 97) % 4096;
+            black_box(cache.lookup(black_box(la), AccessKind::Read, 1).is_some())
+        })
+    });
+
+    c.bench_function("components/setassoc_fill_evict", |b| {
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(64, 4, 256, ReplacementPolicy::Lru);
+        let mut la = 0u64;
+        b.iter(|| {
+            la += 1;
+            black_box(cache.fill(black_box(la), true, la))
+        })
+    });
+
+    c.bench_function("components/mshr_allocate_complete", |b| {
+        let mut mshr = MshrTable::new(64, 8);
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 1;
+            mshr.allocate(line, 1);
+            black_box(mshr.complete(line))
+        })
+    });
+
+    c.bench_function("components/bank_arbiter_reserve", |b| {
+        let mut arb = BankArbiter::new(8);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 3;
+            black_box(arb.reserve((t % 8) as usize, t, 5))
+        })
+    });
+}
+
+fn bench_two_part(c: &mut Criterion) {
+    c.bench_function("components/two_part_probe_hit", |b| {
+        let mut llc = TwoPartLlc::new(TwoPartConfig::new(48, 2, 336, 7, 256));
+        for la in 0..1024u64 {
+            llc.fill(la * 256, la % 3 == 0, la);
+        }
+        let mut la = 0u64;
+        let mut t = 10_000u64;
+        b.iter(|| {
+            la = (la + 131) % 1024;
+            t += 7;
+            black_box(llc.probe(la * 256, AccessKind::Read, t).hit)
+        })
+    });
+
+    c.bench_function("components/two_part_write_migrate", |b| {
+        let mut llc = TwoPartLlc::new(TwoPartConfig::new(48, 2, 336, 7, 256));
+        for la in 0..1024u64 {
+            llc.fill(la * 256, false, la);
+        }
+        let mut la = 0u64;
+        let mut t = 10_000u64;
+        b.iter(|| {
+            la = (la + 131) % 1024;
+            t += 7;
+            black_box(llc.probe(la * 256, AccessKind::Write, t).hit)
+        })
+    });
+
+    c.bench_function("components/two_part_maintain", |b| {
+        let mut llc = TwoPartLlc::new(TwoPartConfig::new(48, 2, 336, 7, 256));
+        for la in 0..1536u64 {
+            llc.fill(la * 256, la % 2 == 0, la);
+        }
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            llc.maintain(black_box(t));
+        })
+    });
+}
+
+fn bench_program(c: &mut Criterion) {
+    c.bench_function("components/warp_program_next_instr", |b| {
+        let k = Arc::new(
+            KernelParams::new("bench", 64, 256)
+                .with_instructions(u32::MAX / 2)
+                .with_mem_fraction(0.3),
+        );
+        let mut p = WarpProgram::new(k, 0, 0, 42, 128);
+        b.iter(|| black_box(p.next_instr()))
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_two_part, bench_program);
+criterion_main!(benches);

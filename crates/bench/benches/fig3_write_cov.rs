@@ -1,0 +1,30 @@
+//! Fig. 3: inter/intra-set write variation — prints the per-workload COV
+//! series and benchmarks one workload's COV pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sttgpu_experiments::configs::L2Choice;
+use sttgpu_experiments::fig3;
+use sttgpu_experiments::runner::run;
+use sttgpu_stats::WriteVariation;
+use sttgpu_workloads::suite;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig3::compute(&sttgpu_bench::print_plan());
+    sttgpu_bench::banner("Fig. 3", &fig3::render(&rows));
+
+    let plan = sttgpu_bench::measure_plan();
+    let w = suite::by_name("kmeans").expect("kmeans");
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("kmeans_cov_run", |b| {
+        b.iter(|| {
+            let out = run(L2Choice::SramBaseline, &w, &plan);
+            black_box(WriteVariation::from_counts(&out.write_matrix))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

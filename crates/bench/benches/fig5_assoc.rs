@@ -1,0 +1,22 @@
+//! Fig. 5: LR associativity analysis — prints the normalised utilisation
+//! series and benchmarks the sweep at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sttgpu_experiments::fig5;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig5::compute(&sttgpu_bench::print_plan());
+    sttgpu_bench::banner("Fig. 5", &fig5::render(&rows));
+
+    let plan = sttgpu_bench::measure_plan();
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("assoc_sweep", |b| {
+        b.iter(|| black_box(fig5::compute(&plan).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 6: LR rewrite-interval distribution — prints the bucket table and
+//! benchmarks one workload's histogram collection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sttgpu_experiments::configs::L2Choice;
+use sttgpu_experiments::fig6;
+use sttgpu_experiments::runner::run;
+use sttgpu_workloads::suite;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig6::compute(&sttgpu_bench::print_plan());
+    sttgpu_bench::banner("Fig. 6", &fig6::render(&rows));
+
+    let plan = sttgpu_bench::measure_plan();
+    let w = suite::by_name("kmeans").expect("kmeans");
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("kmeans_rewrite_histogram", |b| {
+        b.iter(|| {
+            let out = run(L2Choice::TwoPartC1, &w, &plan);
+            black_box(out.lr_rewrite_intervals.expect("two-part").total())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

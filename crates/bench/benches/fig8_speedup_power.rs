@@ -1,0 +1,33 @@
+//! Fig. 8: speedup, dynamic power and total power of all five
+//! configurations — prints all three panels and benchmarks single
+//! configuration runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sttgpu_experiments::configs::L2Choice;
+use sttgpu_experiments::fig8;
+use sttgpu_experiments::runner::run;
+use sttgpu_workloads::suite;
+
+fn bench(c: &mut Criterion) {
+    let (rows, summary) = fig8::compute(&sttgpu_bench::print_plan());
+    sttgpu_bench::banner("Fig. 8", &fig8::render(&rows, &summary));
+
+    let plan = sttgpu_bench::measure_plan();
+    let w = suite::by_name("bfs").expect("bfs");
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for choice in [
+        L2Choice::SramBaseline,
+        L2Choice::SttBaseline,
+        L2Choice::TwoPartC1,
+    ] {
+        group.bench_function(format!("bfs_on_{}", choice.label()), |b| {
+            b.iter(|| black_box(run(choice, &w, &plan).metrics.ipc()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

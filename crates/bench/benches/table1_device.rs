@@ -1,0 +1,21 @@
+//! Table 1: STT-RAM parameters vs. retention — prints the table and
+//! benchmarks the MTJ device-model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sttgpu_device::mtj::{MtjDesign, RetentionTime};
+use sttgpu_experiments::table1;
+
+fn bench(c: &mut Criterion) {
+    sttgpu_bench::banner("Table 1", &table1::render());
+    c.bench_function("table1/mtj_design_point", |b| {
+        b.iter(|| {
+            let m = MtjDesign::for_retention(black_box(RetentionTime::from_millis(4.0)));
+            black_box((m.write_latency_ns(), m.write_energy_nj(), m.retention()))
+        })
+    });
+    c.bench_function("table1/render", |b| b.iter(|| black_box(table1::render())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

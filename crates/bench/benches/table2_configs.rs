@@ -1,0 +1,23 @@
+//! Table 2: the five GPU configurations — prints the table and benchmarks
+//! configuration construction (area model + LLC instantiation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sttgpu_experiments::configs::{gpu_config, L2Choice};
+use sttgpu_experiments::table2;
+
+fn bench(c: &mut Criterion) {
+    sttgpu_bench::banner("Table 2", &table2::render());
+    c.bench_function("table2/compute_rows", |b| {
+        b.iter(|| black_box(table2::compute()))
+    });
+    c.bench_function("table2/build_c1_llc", |b| {
+        b.iter(|| {
+            let cfg = gpu_config(black_box(L2Choice::TwoPartC1));
+            black_box(cfg.l2.build(cfg.l2_line_bytes))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

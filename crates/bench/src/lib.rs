@@ -1,0 +1,37 @@
+//! Shared helpers for the criterion bench targets.
+//!
+//! Every bench target corresponds to one paper artefact: it **prints** the
+//! artefact's rows (at a reduced workload scale, so `cargo bench` stays
+//! tractable) and then lets criterion measure a representative slice of
+//! the computation. The full-scale artefacts come from the `repro` binary
+//! (`cargo run --release -p sttgpu-experiments --bin repro -- all`).
+
+use sttgpu_experiments::RunPlan;
+
+/// The workload scale used when bench targets print their artefact rows.
+pub const BENCH_PRINT_SCALE: f64 = 0.2;
+
+/// The (smaller) scale used inside criterion measurement loops.
+pub const BENCH_MEASURE_SCALE: f64 = 0.05;
+
+/// Plan for the one-off artefact print.
+pub fn print_plan() -> RunPlan {
+    RunPlan {
+        scale: BENCH_PRINT_SCALE,
+        max_cycles: 8_000_000,
+    }
+}
+
+/// Plan for criterion-measured closures.
+pub fn measure_plan() -> RunPlan {
+    RunPlan {
+        scale: BENCH_MEASURE_SCALE,
+        max_cycles: 4_000_000,
+    }
+}
+
+/// Prints a banner followed by an artefact body.
+pub fn banner(title: &str, body: &str) {
+    println!("\n================ {title} (bench scale {BENCH_PRINT_SCALE}) ================");
+    println!("{body}");
+}

@@ -1,0 +1,154 @@
+//! Miss-status holding registers (MSHRs).
+//!
+//! GPU caches are heavily non-blocking: dozens of warps miss concurrently
+//! and secondary misses to an in-flight line must merge rather than issue
+//! duplicate memory requests. The [`MshrTable`] tracks in-flight line
+//! fills and the opaque tokens (warp/request ids) waiting on them.
+
+use std::collections::HashMap;
+
+/// Result of trying to allocate an MSHR for a missing line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated — the caller must send a fill request.
+    Allocated,
+    /// The line is already in flight — the token was merged, no new
+    /// request needed.
+    Merged,
+    /// The table (or the entry's target list) is full — the access must
+    /// stall and retry.
+    Full,
+}
+
+/// A table of in-flight misses keyed by line address.
+///
+/// # Example
+///
+/// ```
+/// use sttgpu_cache::{MshrOutcome, MshrTable};
+///
+/// let mut mshr = MshrTable::new(32, 8);
+/// assert_eq!(mshr.allocate(0x10, 1), MshrOutcome::Allocated);
+/// assert_eq!(mshr.allocate(0x10, 2), MshrOutcome::Merged);
+/// assert_eq!(mshr.complete(0x10), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrTable {
+    capacity: usize,
+    targets_per_entry: usize,
+    entries: HashMap<u64, Vec<u64>>,
+}
+
+impl MshrTable {
+    /// Creates a table of at most `capacity` in-flight lines, each holding
+    /// up to `targets_per_entry` waiting tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either limit is zero.
+    pub fn new(capacity: usize, targets_per_entry: usize) -> Self {
+        assert!(capacity > 0 && targets_per_entry > 0);
+        MshrTable {
+            capacity,
+            targets_per_entry,
+            entries: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Attempts to register `token` as waiting for `line_addr`.
+    pub fn allocate(&mut self, line_addr: u64, token: u64) -> MshrOutcome {
+        if let Some(targets) = self.entries.get_mut(&line_addr) {
+            if targets.len() >= self.targets_per_entry {
+                return MshrOutcome::Full;
+            }
+            targets.push(token);
+            return MshrOutcome::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(line_addr, vec![token]);
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the fill of `line_addr`, releasing and returning the
+    /// waiting tokens (empty when the line was not in flight).
+    pub fn complete(&mut self, line_addr: u64) -> Vec<u64> {
+        self.entries.remove(&line_addr).unwrap_or_default()
+    }
+
+    /// Whether `line_addr` currently has an in-flight fill.
+    pub fn is_pending(&self, line_addr: u64) -> bool {
+        self.entries.contains_key(&line_addr)
+    }
+
+    /// Number of in-flight lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no fills are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the table can accept a brand-new line miss.
+    pub fn has_free_entry(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrTable::new(2, 2);
+        assert_eq!(m.allocate(1, 100), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(1, 101), MshrOutcome::Merged);
+        assert!(m.is_pending(1));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn entry_target_limit() {
+        let mut m = MshrTable::new(2, 2);
+        m.allocate(1, 100);
+        m.allocate(1, 101);
+        assert_eq!(m.allocate(1, 102), MshrOutcome::Full);
+    }
+
+    #[test]
+    fn table_capacity_limit() {
+        let mut m = MshrTable::new(1, 4);
+        assert_eq!(m.allocate(1, 0), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(2, 0), MshrOutcome::Full);
+        assert!(!m.has_free_entry());
+    }
+
+    #[test]
+    fn complete_releases_tokens_in_order() {
+        let mut m = MshrTable::new(4, 4);
+        m.allocate(9, 1);
+        m.allocate(9, 2);
+        m.allocate(9, 3);
+        assert_eq!(m.complete(9), vec![1, 2, 3]);
+        assert!(!m.is_pending(9));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn complete_unknown_line_is_empty() {
+        let mut m = MshrTable::new(4, 4);
+        assert!(m.complete(42).is_empty());
+    }
+
+    #[test]
+    fn capacity_frees_after_completion() {
+        let mut m = MshrTable::new(1, 1);
+        m.allocate(1, 0);
+        m.complete(1);
+        assert_eq!(m.allocate(2, 0), MshrOutcome::Allocated);
+    }
+}

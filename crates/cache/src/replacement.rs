@@ -1,0 +1,42 @@
+//! Replacement policies for [`SetAssocCache`](crate::SetAssocCache).
+
+/// Victim-selection policy of a set-associative cache.
+///
+/// Policies are stamp-based: the cache records a policy-defined stamp per
+/// line and the victim is the valid line with the smallest stamp (invalid
+/// lines always win).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used: stamp updated on every hit and fill.
+    #[default]
+    Lru,
+    /// First-in-first-out: stamp assigned at fill only.
+    Fifo,
+    /// Pseudo-random victim (xorshift over the set index and a counter);
+    /// deterministic for reproducible simulation.
+    Random,
+}
+
+impl ReplacementPolicy {
+    /// Whether a hit refreshes the line's stamp (true for LRU).
+    pub fn touches_on_hit(self) -> bool {
+        matches!(self, ReplacementPolicy::Lru)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_touches_on_hit_others_do_not() {
+        assert!(ReplacementPolicy::Lru.touches_on_hit());
+        assert!(!ReplacementPolicy::Fifo.touches_on_hit());
+        assert!(!ReplacementPolicy::Random.touches_on_hit());
+    }
+
+    #[test]
+    fn default_is_lru() {
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+    }
+}

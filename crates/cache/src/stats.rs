@@ -1,0 +1,109 @@
+//! Per-cache access statistics.
+
+use sttgpu_stats::Counter;
+
+/// Hit/miss/eviction counters maintained by [`SetAssocCache`].
+///
+/// [`SetAssocCache`]: crate::SetAssocCache
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read lookups that hit.
+    pub read_hits: Counter,
+    /// Read lookups that missed.
+    pub read_misses: Counter,
+    /// Write lookups that hit.
+    pub write_hits: Counter,
+    /// Write lookups that missed.
+    pub write_misses: Counter,
+    /// Lines filled into the array.
+    pub fills: Counter,
+    /// Valid lines evicted by fills.
+    pub evictions: Counter,
+    /// Evicted lines that were dirty (write-back traffic).
+    pub dirty_evictions: Counter,
+    /// Lines removed by explicit invalidation.
+    pub invalidations: Counter,
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        CacheStats::default()
+    }
+
+    /// Total lookups (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.read_hits.get()
+            + self.read_misses.get()
+            + self.write_hits.get()
+            + self.write_misses.get()
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits.get() + self.write_hits.get()
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses.get() + self.write_misses.get()
+    }
+
+    /// Hit rate over all lookups, 0.0 when no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let acc = self.accesses();
+        if acc == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / acc as f64
+        }
+    }
+
+    /// Total write lookups.
+    pub fn writes(&self) -> u64 {
+        self.write_hits.get() + self.write_misses.get()
+    }
+
+    /// Total read lookups.
+    pub fn reads(&self) -> u64 {
+        self.read_hits.get() + self.read_misses.get()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_totals() {
+        let mut s = CacheStats::new();
+        s.read_hits.add(3);
+        s.read_misses.add(1);
+        s.write_hits.add(2);
+        s.write_misses.add(4);
+        assert_eq!(s.accesses(), 10);
+        assert_eq!(s.hits(), 5);
+        assert_eq!(s.misses(), 5);
+        assert_eq!(s.reads(), 4);
+        assert_eq!(s.writes(), 6);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(CacheStats::new().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = CacheStats::new();
+        s.fills.inc();
+        s.reset();
+        assert_eq!(s, CacheStats::new());
+    }
+}

@@ -1,0 +1,112 @@
+//! GPU cache write-policy vocabulary.
+//!
+//! The paper's Fig. 1-b spells out the L1 data-cache policy of an NVIDIA
+//! GPU: **global** data writes are *write-evict* on hit and
+//! *write-no-allocate* on miss (the L1s are not coherent, so global data
+//! may not linger), while **local** (per-thread) data is *write-back* /
+//! *write-allocate*. The L2 is write-back with respect to DRAM. These
+//! types encode that decision table so the simulator's L1 and L2 read as
+//! the figure does.
+
+/// What a cache does with a write that hits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteHitPolicy {
+    /// Update the line, mark it dirty (local data in L1, everything in L2).
+    WriteBack,
+    /// Update the line and forward the write to the next level.
+    WriteThrough,
+    /// Forward the write to the next level and invalidate the local copy
+    /// (GPU L1 policy for global data).
+    WriteEvict,
+}
+
+/// What a cache does with a write that misses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteMissPolicy {
+    /// Fetch the line and perform the write locally.
+    WriteAllocate,
+    /// Forward the write to the next level without allocating
+    /// (GPU L1 policy for global data).
+    WriteNoAllocate,
+}
+
+/// A complete write policy (hit + miss behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WritePolicy {
+    /// Behaviour on write hit.
+    pub hit: WriteHitPolicy,
+    /// Behaviour on write miss.
+    pub miss: WriteMissPolicy,
+}
+
+impl WritePolicy {
+    /// The GPU L1 policy for **global** data: write-evict on hit,
+    /// write-no-allocate on miss (paper Fig. 1-b).
+    pub const GLOBAL_L1: WritePolicy = WritePolicy {
+        hit: WriteHitPolicy::WriteEvict,
+        miss: WriteMissPolicy::WriteNoAllocate,
+    };
+
+    /// The GPU L1 policy for **local** (per-thread) data: write-back,
+    /// write-allocate.
+    pub const LOCAL_L1: WritePolicy = WritePolicy {
+        hit: WriteHitPolicy::WriteBack,
+        miss: WriteMissPolicy::WriteAllocate,
+    };
+
+    /// The L2 policy: write-back, write-allocate, backed by DRAM.
+    pub const L2: WritePolicy = WritePolicy {
+        hit: WriteHitPolicy::WriteBack,
+        miss: WriteMissPolicy::WriteAllocate,
+    };
+
+    /// Whether a write hit leaves a valid local copy behind.
+    pub fn keeps_line_on_write_hit(&self) -> bool {
+        !matches!(self.hit, WriteHitPolicy::WriteEvict)
+    }
+
+    /// Whether a write hit generates traffic to the next level.
+    pub fn forwards_write_hit(&self) -> bool {
+        matches!(
+            self.hit,
+            WriteHitPolicy::WriteThrough | WriteHitPolicy::WriteEvict
+        )
+    }
+
+    /// Whether a write miss allocates locally.
+    pub fn allocates_on_write_miss(&self) -> bool {
+        matches!(self.miss, WriteMissPolicy::WriteAllocate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_l1_matches_figure_1b() {
+        let p = WritePolicy::GLOBAL_L1;
+        assert!(
+            !p.keeps_line_on_write_hit(),
+            "write-evict discards the copy"
+        );
+        assert!(p.forwards_write_hit(), "write goes through to L2");
+        assert!(!p.allocates_on_write_miss(), "write-no-allocate on miss");
+    }
+
+    #[test]
+    fn local_l1_is_write_back_allocate() {
+        let p = WritePolicy::LOCAL_L1;
+        assert!(p.keeps_line_on_write_hit());
+        assert!(!p.forwards_write_hit());
+        assert!(p.allocates_on_write_miss());
+    }
+
+    #[test]
+    fn l2_is_write_back() {
+        let p = WritePolicy::L2;
+        assert!(p.keeps_line_on_write_hit());
+        assert!(!p.forwards_write_hit());
+        assert!(p.allocates_on_write_miss());
+    }
+}

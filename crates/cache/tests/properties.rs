@@ -1,0 +1,154 @@
+//! Property-based tests for the cache substrate's invariants.
+
+use proptest::prelude::*;
+use sttgpu_cache::{AccessKind, MshrOutcome, MshrTable, ReplacementPolicy, SetAssocCache};
+
+/// Applies a random mix of fills/lookups/extracts and checks structural
+/// invariants after every step.
+fn run_ops(sets: usize, ways: usize, policy: ReplacementPolicy, ops: &[(u8, u64)]) {
+    let mut c: SetAssocCache<()> = SetAssocCache::new(sets, ways, 128, policy);
+    let mut now = 0u64;
+    for &(op, addr) in ops {
+        now += 1;
+        match op % 4 {
+            0 => {
+                c.lookup(addr, AccessKind::Read, now);
+            }
+            1 => {
+                c.lookup(addr, AccessKind::Write, now);
+            }
+            2 => {
+                c.fill(addr, op % 2 == 0, now);
+            }
+            _ => {
+                c.extract(addr);
+            }
+        }
+
+        // Invariant 1: a line address appears at most once among valid lines.
+        let mut seen = std::collections::HashSet::new();
+        for l in c.iter().filter(|l| l.is_valid()) {
+            assert!(
+                seen.insert(l.line_addr()),
+                "duplicate line {:#x}",
+                l.line_addr()
+            );
+        }
+        // Invariant 2: every valid line sits in its home set.
+        for (i, l) in c.iter().enumerate() {
+            if l.is_valid() {
+                let set = i / ways;
+                assert_eq!(c.set_index(l.line_addr()), set, "line in wrong set");
+            }
+        }
+    }
+}
+
+proptest! {
+    /// No duplicate tags, correct set placement — under all policies.
+    #[test]
+    fn structural_invariants_lru(ops in proptest::collection::vec((0u8..4, 0u64..64), 1..300)) {
+        run_ops(4, 2, ReplacementPolicy::Lru, &ops);
+    }
+
+    #[test]
+    fn structural_invariants_fifo(ops in proptest::collection::vec((0u8..4, 0u64..64), 1..300)) {
+        run_ops(4, 2, ReplacementPolicy::Fifo, &ops);
+    }
+
+    #[test]
+    fn structural_invariants_random(ops in proptest::collection::vec((0u8..4, 0u64..64), 1..300)) {
+        run_ops(2, 4, ReplacementPolicy::Random, &ops);
+    }
+
+    /// A fill makes the line resident; hits never change residency.
+    #[test]
+    fn fill_then_hit(addrs in proptest::collection::vec(0u64..256, 1..100)) {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(8, 4, 128, ReplacementPolicy::Lru);
+        for (i, &a) in addrs.iter().enumerate() {
+            c.fill(a, false, i as u64);
+            prop_assert!(c.contains(a), "line must be resident right after fill");
+            prop_assert!(c.lookup(a, AccessKind::Read, i as u64).is_some());
+            prop_assert!(c.contains(a));
+        }
+    }
+
+    /// Hit + miss counters equal the number of lookups issued.
+    #[test]
+    fn stats_conservation(ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..200)) {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(4, 2, 128, ReplacementPolicy::Lru);
+        let mut lookups = 0u64;
+        for (i, &(is_write, addr)) in ops.iter().enumerate() {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            c.lookup(addr, kind, i as u64);
+            lookups += 1;
+            if addr % 3 == 0 {
+                c.fill(addr, false, i as u64);
+            }
+        }
+        prop_assert_eq!(c.stats().accesses(), lookups);
+        prop_assert_eq!(c.stats().hits() + c.stats().misses(), lookups);
+    }
+
+    /// The number of valid lines never exceeds capacity, and evictions are
+    /// reported exactly when a valid line is displaced.
+    #[test]
+    fn eviction_accounting(addrs in proptest::collection::vec(0u64..1024, 1..300)) {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(4, 2, 128, ReplacementPolicy::Lru);
+        let mut resident = std::collections::HashSet::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            if resident.contains(&a) {
+                c.fill(a, false, i as u64);
+                continue;
+            }
+            let evicted = c.fill(a, false, i as u64);
+            resident.insert(a);
+            if let Some(ev) = evicted {
+                prop_assert!(resident.remove(&ev.line_addr), "evicted a non-resident line");
+            }
+            prop_assert!(resident.len() <= c.capacity_lines());
+        }
+        let valid = c.iter().filter(|l| l.is_valid()).count();
+        prop_assert_eq!(valid, resident.len());
+    }
+
+    /// LRU property: within a set, filling a full set evicts the line whose
+    /// last touch is oldest.
+    #[test]
+    fn lru_evicts_oldest_touch(n in 2usize..8) {
+        let mut c: SetAssocCache<()> = SetAssocCache::new(1, n, 128, ReplacementPolicy::Lru);
+        for a in 0..n as u64 {
+            c.fill(a, false, a);
+        }
+        // Touch all but line `n/2` in some later order.
+        let skip = (n / 2) as u64;
+        let mut t = n as u64;
+        for a in (0..n as u64).filter(|&a| a != skip) {
+            c.lookup(a, AccessKind::Read, t);
+            t += 1;
+        }
+        let ev = c.fill(999, false, t).expect("set was full");
+        prop_assert_eq!(ev.line_addr, skip);
+    }
+
+    /// MSHR: tokens in equal tokens out, entries drain to empty.
+    #[test]
+    fn mshr_conserves_tokens(reqs in proptest::collection::vec((0u64..16, 0u64..1000), 1..200)) {
+        let mut m = MshrTable::new(8, 4);
+        let mut expected: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        for &(line, token) in &reqs {
+            match m.allocate(line, token) {
+                MshrOutcome::Allocated | MshrOutcome::Merged => {
+                    expected.entry(line).or_default().push(token);
+                }
+                MshrOutcome::Full => {}
+            }
+        }
+        let lines: Vec<u64> = expected.keys().copied().collect();
+        for line in lines {
+            let got = m.complete(line);
+            prop_assert_eq!(got, expected.remove(&line).unwrap_or_default());
+        }
+        prop_assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Configuration of the two-part LLC.
+
+use sttgpu_cache::ReplacementPolicy;
+use sttgpu_device::mtj::RetentionTime;
+
+/// How the two tag arrays are searched on an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SearchMode {
+    /// Probe one part first (chosen by access type: writes→LR, reads→HR)
+    /// and the other only on a first-part miss. Slower on
+    /// "wrong-first-guess" accesses but cheaper — the paper's default.
+    #[default]
+    Sequential,
+    /// Probe both tag arrays at once. Faster misses, two tag energies per
+    /// access.
+    Parallel,
+}
+
+/// Full configuration of a [`TwoPartLlc`](crate::TwoPartLlc).
+///
+/// Defaults follow the paper: 2-way LR, write threshold 1, 4-bit LR / 2-bit
+/// HR retention counters, 26.5 µs LR and 4 ms HR retention, 10-block swap
+/// buffers, sequential search.
+///
+/// # Example
+///
+/// ```
+/// use sttgpu_core::TwoPartConfig;
+///
+/// // The paper's C1 geometry: 192 KB 2-way LR + 1344 KB 7-way HR.
+/// let cfg = TwoPartConfig::new(192, 2, 1344, 7, 256);
+/// assert_eq!(cfg.lr_sets(), 384);
+/// assert_eq!(cfg.hr_sets(), 768);
+/// assert_eq!(cfg.write_threshold, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwoPartConfig {
+    /// Cache line size, bytes (paper: 256 B).
+    pub line_bytes: u32,
+    /// LR data capacity, KB.
+    pub lr_kb: u64,
+    /// LR associativity (paper: 2).
+    pub lr_ways: u32,
+    /// HR data capacity, KB.
+    pub hr_kb: u64,
+    /// HR associativity (paper: 7).
+    pub hr_ways: u32,
+    /// LR bank count.
+    pub lr_banks: u32,
+    /// HR bank count ("the HR part should be sufficiently banked").
+    pub hr_banks: u32,
+    /// LR retention target.
+    pub lr_retention: RetentionTime,
+    /// HR retention target (paper §4: 4 ms handles >90 % of HR rewrites).
+    pub hr_retention: RetentionTime,
+    /// LR retention-counter width, bits (paper: 4).
+    pub lr_rc_bits: u32,
+    /// HR retention-counter width, bits (paper: 2).
+    pub hr_rc_bits: u32,
+    /// HR write count at which a block migrates to LR (paper: 1 — the
+    /// modified bit suffices; Fig. 4 sweeps {1, 3, 7, 15}).
+    pub write_threshold: u32,
+    /// Capacity of each swap buffer, blocks (paper: 10).
+    pub buffer_blocks: usize,
+    /// Wear-rotation period for the LR part, ns: every period the LR is
+    /// drained into HR and its address→set mapping is rotated, spreading
+    /// the (deliberately concentrated) write working set over different
+    /// physical sets across epochs. `None` disables rotation (the paper's
+    /// design). This is the endurance countermeasure our ablation 5
+    /// motivates.
+    pub lr_rotation_period_ns: Option<u64>,
+    /// How many retention-counter ticks *before* the last one the refresh
+    /// engine may act (0 = the paper's policy: postpone refresh to the
+    /// last tick; larger values refresh earlier and more often).
+    pub refresh_slack_ticks: u32,
+    /// Early-write-termination energy-savings fraction applied to both
+    /// parts' write drivers (0.0 = disabled; Zhou et al.'s mechanism the
+    /// paper's §3 discusses).
+    pub ewt_savings: f64,
+    /// Tag search strategy.
+    pub search: SearchMode,
+    /// Replacement policy of both parts.
+    pub replacement: ReplacementPolicy,
+}
+
+impl TwoPartConfig {
+    /// Creates a configuration with paper defaults for the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a capacity does not divide into whole sets of `ways`
+    /// lines of `line_bytes`.
+    pub fn new(lr_kb: u64, lr_ways: u32, hr_kb: u64, hr_ways: u32, line_bytes: u32) -> Self {
+        let cfg = TwoPartConfig {
+            line_bytes,
+            lr_kb,
+            lr_ways,
+            hr_kb,
+            hr_ways,
+            lr_banks: 8,
+            hr_banks: 8,
+            lr_retention: RetentionTime::from_micros(26.5),
+            hr_retention: RetentionTime::from_millis(4.0),
+            lr_rc_bits: 4,
+            hr_rc_bits: 2,
+            write_threshold: 1,
+            buffer_blocks: 10,
+            lr_rotation_period_ns: None,
+            refresh_slack_ticks: 0,
+            ewt_savings: 0.0,
+            search: SearchMode::Sequential,
+            replacement: ReplacementPolicy::Lru,
+        };
+        cfg.validate();
+        cfg
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            self.write_threshold >= 1,
+            "write threshold must be at least 1"
+        );
+        assert!(self.buffer_blocks >= 1, "swap buffers need capacity");
+        let lr_lines = self.lr_kb * 1024 / self.line_bytes as u64;
+        let hr_lines = self.hr_kb * 1024 / self.line_bytes as u64;
+        assert!(
+            lr_lines >= self.lr_ways as u64 && lr_lines.is_multiple_of(self.lr_ways as u64),
+            "LR capacity must form whole sets"
+        );
+        assert!(
+            hr_lines >= self.hr_ways as u64 && hr_lines.is_multiple_of(self.hr_ways as u64),
+            "HR capacity must form whole sets"
+        );
+    }
+
+    /// Number of LR lines.
+    pub fn lr_lines(&self) -> u64 {
+        self.lr_kb * 1024 / self.line_bytes as u64
+    }
+
+    /// Number of HR lines.
+    pub fn hr_lines(&self) -> u64 {
+        self.hr_kb * 1024 / self.line_bytes as u64
+    }
+
+    /// Number of LR sets.
+    pub fn lr_sets(&self) -> u64 {
+        self.lr_lines() / self.lr_ways as u64
+    }
+
+    /// Number of HR sets.
+    pub fn hr_sets(&self) -> u64 {
+        self.hr_lines() / self.hr_ways as u64
+    }
+
+    /// Total data capacity (both parts), KB.
+    pub fn total_kb(&self) -> u64 {
+        self.lr_kb + self.hr_kb
+    }
+
+    /// Returns a copy with a different write threshold (Fig. 4 sweeps).
+    pub fn with_write_threshold(mut self, threshold: u32) -> Self {
+        self.write_threshold = threshold;
+        self.validate();
+        self
+    }
+
+    /// Returns a copy with different LR associativity, keeping capacity
+    /// (Fig. 5 sweeps). Pass `ways == lr_lines()` for fully associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LR capacity cannot form whole sets of `ways`.
+    pub fn with_lr_ways(mut self, ways: u32) -> Self {
+        self.lr_ways = ways;
+        self.validate();
+        self
+    }
+
+    /// Returns a copy with a different search mode (ablation).
+    pub fn with_search(mut self, search: SearchMode) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Returns a copy with different swap-buffer capacity (ablation).
+    pub fn with_buffer_blocks(mut self, blocks: usize) -> Self {
+        self.buffer_blocks = blocks;
+        self.validate();
+        self
+    }
+
+    /// Returns a copy with a different HR retention target (ablation).
+    pub fn with_hr_retention(mut self, retention: RetentionTime) -> Self {
+        self.hr_retention = retention;
+        self
+    }
+
+    /// Returns a copy with a different LR retention target (ablation).
+    pub fn with_lr_retention(mut self, retention: RetentionTime) -> Self {
+        self.lr_retention = retention;
+        self
+    }
+
+    /// Returns a copy with early write termination enabled at the given
+    /// energy-savings fraction (ablation).
+    pub fn with_ewt_savings(mut self, savings: f64) -> Self {
+        assert!((0.0..=0.9).contains(&savings), "EWT savings out of range");
+        self.ewt_savings = savings;
+        self
+    }
+
+    /// Returns a copy with LR wear-rotation every `ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ms` is not positive.
+    pub fn with_lr_rotation_ms(mut self, ms: f64) -> Self {
+        assert!(ms > 0.0, "rotation period must be positive");
+        self.lr_rotation_period_ns = Some((ms * 1e6) as u64);
+        self
+    }
+
+    /// Returns a copy refreshing `slack` ticks before the deadline
+    /// (ablation of the paper's last-tick policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slack does not leave at least one tick of life
+    /// (`slack >= 2^lr_rc_bits - 1`).
+    pub fn with_refresh_slack_ticks(mut self, slack: u32) -> Self {
+        assert!(
+            slack < (1 << self.lr_rc_bits) - 1,
+            "refresh slack {slack} leaves no retention life"
+        );
+        self.refresh_slack_ticks = slack;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c1_geometry_derivations() {
+        let cfg = TwoPartConfig::new(192, 2, 1344, 7, 256);
+        assert_eq!(cfg.lr_lines(), 768);
+        assert_eq!(cfg.lr_sets(), 384);
+        assert_eq!(cfg.hr_lines(), 5376);
+        assert_eq!(cfg.hr_sets(), 768);
+        assert_eq!(cfg.total_kb(), 1536);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let cfg = TwoPartConfig::new(48, 2, 336, 7, 256);
+        assert_eq!(cfg.write_threshold, 1);
+        assert_eq!(cfg.lr_rc_bits, 4);
+        assert_eq!(cfg.hr_rc_bits, 2);
+        assert_eq!(cfg.buffer_blocks, 10);
+        assert_eq!(cfg.search, SearchMode::Sequential);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let cfg = TwoPartConfig::new(48, 2, 336, 7, 256)
+            .with_write_threshold(7)
+            .with_lr_ways(4)
+            .with_search(SearchMode::Parallel)
+            .with_buffer_blocks(2);
+        assert_eq!(cfg.write_threshold, 7);
+        assert_eq!(cfg.lr_ways, 4);
+        assert_eq!(cfg.search, SearchMode::Parallel);
+        assert_eq!(cfg.buffer_blocks, 2);
+    }
+
+    #[test]
+    fn fully_associative_lr() {
+        let cfg = TwoPartConfig::new(48, 2, 336, 7, 256);
+        let fa = cfg.clone().with_lr_ways(cfg.lr_lines() as u32);
+        assert_eq!(fa.lr_sets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sets")]
+    fn rejects_fractional_sets() {
+        TwoPartConfig::new(48, 5, 336, 7, 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_threshold() {
+        let _ = TwoPartConfig::new(48, 2, 336, 7, 256).with_write_threshold(0);
+    }
+}

@@ -1,0 +1,509 @@
+//! The last-level-cache model interface and the evaluation's baselines.
+//!
+//! The GPU simulator talks to any L2 through [`LlcModel`]: it `probe`s on
+//! demand accesses, `fill`s after DRAM responses and calls `maintain`
+//! periodically so refresh/expiry engines can run. Three implementations
+//! exist:
+//!
+//! * [`SingleLlc`] over SRAM — the paper's baseline GPU,
+//! * [`SingleLlc`] over 10-year STT-RAM — the paper's "STT-RAM baseline"
+//!   (4× capacity, long write pulses, no refresh),
+//! * [`TwoPartLlc`](crate::TwoPartLlc) — the contribution.
+//!
+//! [`AnyLlc`] packages them behind one concrete type so simulator configs
+//! stay plain data.
+
+use sttgpu_cache::{AccessKind, BankArbiter, ReplacementPolicy, SetAssocCache};
+use sttgpu_device::array::{ArrayDesign, ArrayGeometry};
+use sttgpu_device::cell::MemTechnology;
+use sttgpu_device::energy::{EnergyAccount, EnergyEvent};
+
+use crate::TwoPartLlc;
+
+/// Result of a demand probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// Whether the access hit in the LLC.
+    pub hit: bool,
+    /// Absolute time (ns) at which the access completes: data available
+    /// for a read hit, write retired for a write hit, or miss determined
+    /// (tag search finished) for a miss.
+    pub ready_ns: u64,
+    /// Dirty lines pushed toward DRAM as a side effect (migration
+    /// overflows, evictions).
+    pub writebacks: u32,
+}
+
+/// Result of installing a line after a DRAM fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FillOutcome {
+    /// Absolute time (ns) at which the fill write retires in the array.
+    pub ready_ns: u64,
+    /// Dirty victims pushed toward DRAM.
+    pub writebacks: u32,
+}
+
+/// Technology-agnostic summary statistics of an LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LlcStats {
+    /// Read probes that hit.
+    pub read_hits: u64,
+    /// Read probes that missed.
+    pub read_misses: u64,
+    /// Write probes that hit.
+    pub write_hits: u64,
+    /// Write probes that missed.
+    pub write_misses: u64,
+    /// Dirty lines sent to DRAM (evictions, expiries, overflows).
+    pub writebacks: u64,
+}
+
+impl LlcStats {
+    /// Total probes.
+    pub fn accesses(&self) -> u64 {
+        self.read_hits + self.read_misses + self.write_hits + self.write_misses
+    }
+
+    /// Hit rate over all probes (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            0.0
+        } else {
+            (self.read_hits + self.write_hits) as f64 / a as f64
+        }
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+}
+
+/// Behavioural interface of a last-level cache model.
+///
+/// Time is carried in absolute nanoseconds of simulated time. The owner
+/// must call [`maintain`](LlcModel::maintain) at least once per
+/// [`maintenance_interval_ns`](LlcModel::maintenance_interval_ns) of
+/// simulated time for refresh guarantees to hold.
+pub trait LlcModel {
+    /// Cache line size, bytes.
+    fn line_bytes(&self) -> u32;
+
+    /// Issues a demand access. On a miss the caller must fetch the line
+    /// from DRAM and then call [`fill`](LlcModel::fill).
+    fn probe(&mut self, byte_addr: u64, kind: AccessKind, now_ns: u64) -> ProbeOutcome;
+
+    /// Installs a line after a DRAM response. `dirty` marks write-allocate
+    /// fills.
+    fn fill(&mut self, byte_addr: u64, dirty: bool, now_ns: u64) -> FillOutcome;
+
+    /// Runs refresh/expiry engines up to `now_ns`.
+    fn maintain(&mut self, now_ns: u64);
+
+    /// Longest tolerable gap between `maintain` calls, ns.
+    fn maintenance_interval_ns(&self) -> u64;
+
+    /// The accumulated energy ledger.
+    fn energy(&self) -> &EnergyAccount;
+
+    /// Technology-agnostic summary statistics.
+    fn summary(&self) -> LlcStats;
+
+    /// Cumulative per-(set, way) data-array write counts for
+    /// write-variation analysis (two-part models concatenate LR and HR
+    /// rows).
+    fn write_count_matrix(&self) -> Vec<Vec<u64>>;
+
+    /// Resets statistics and energy (not cache contents) — used to discard
+    /// warm-up.
+    fn reset_measurement(&mut self);
+}
+
+/// A conventional single-array LLC (SRAM or uniform STT-RAM), write-back /
+/// write-allocate with line-interleaved banks.
+///
+/// # Example
+///
+/// ```
+/// use sttgpu_cache::AccessKind;
+/// use sttgpu_core::{LlcModel, SingleLlc};
+/// use sttgpu_device::cell::MemTechnology;
+///
+/// // The paper's SRAM baseline: 384 KB, 8-way, 256 B lines, 6 banks.
+/// let mut l2 = SingleLlc::new(384, 8, 256, 6, MemTechnology::Sram);
+/// let miss = l2.probe(0x1234, AccessKind::Read, 0);
+/// assert!(!miss.hit);
+/// l2.fill(0x1234, false, 100);
+/// assert!(l2.probe(0x1234, AccessKind::Read, 200).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SingleLlc {
+    cache: SetAssocCache<()>,
+    arbiter: BankArbiter,
+    design: ArrayDesign,
+    energy: EnergyAccount,
+    stats_writebacks: u64,
+    tag_ns: u64,
+    read_ns: u64,
+    write_ns: u64,
+    read_occ_ns: u64,
+    write_occ_ns: u64,
+}
+
+impl SingleLlc {
+    /// Creates a single-array LLC of `kb` kilobytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity does not form whole sets (see
+    /// [`ArrayGeometry::new`]).
+    pub fn new(kb: u64, ways: u32, line_bytes: u32, banks: u32, tech: MemTechnology) -> Self {
+        let geometry = ArrayGeometry::new(kb * 1024, line_bytes, ways, banks);
+        let design = ArrayDesign::new(geometry, tech);
+        let sets = geometry.sets() as usize;
+        let cache = SetAssocCache::new(sets, ways as usize, line_bytes, ReplacementPolicy::Lru);
+        let energy = EnergyAccount::with_leakage_mw(design.leakage_mw());
+        SingleLlc {
+            cache,
+            arbiter: BankArbiter::new(banks as usize),
+            design,
+            energy,
+            stats_writebacks: 0,
+            tag_ns: design.tag_latency_ns().ceil() as u64,
+            read_ns: design.read_latency_ns().ceil() as u64,
+            write_ns: design.write_latency_ns().ceil() as u64,
+            read_occ_ns: design.read_occupancy_ns().ceil() as u64,
+            write_occ_ns: design.write_occupancy_ns().ceil() as u64,
+        }
+    }
+
+    /// The priced array design behind this LLC.
+    pub fn design(&self) -> &ArrayDesign {
+        &self.design
+    }
+
+    /// Data capacity, KB.
+    pub fn capacity_kb(&self) -> u64 {
+        self.cache.capacity_bytes() / 1024
+    }
+}
+
+impl LlcModel for SingleLlc {
+    fn line_bytes(&self) -> u32 {
+        self.cache.line_bytes()
+    }
+
+    fn probe(&mut self, byte_addr: u64, kind: AccessKind, now_ns: u64) -> ProbeOutcome {
+        let la = self.cache.line_addr(byte_addr);
+        self.energy
+            .deposit(EnergyEvent::TagLookup, self.design.tag_energy_nj());
+        let tag_done = now_ns + self.tag_ns;
+        if self.cache.lookup(la, kind, now_ns).is_some() {
+            let bank = self.arbiter.bank_of(la);
+            // The bank is blocked for the (pipelined) occupancy; the
+            // requester waits for the full access latency.
+            let (latency, occupancy, ev, nj) = if kind.is_write() {
+                (
+                    self.write_ns,
+                    self.write_occ_ns,
+                    EnergyEvent::DataWrite,
+                    self.design.write_energy_nj(),
+                )
+            } else {
+                (
+                    self.read_ns,
+                    self.read_occ_ns,
+                    EnergyEvent::DataRead,
+                    self.design.read_energy_nj(),
+                )
+            };
+            self.energy.deposit(ev, nj);
+            let start = self.arbiter.reserve(bank, tag_done, occupancy);
+            ProbeOutcome {
+                hit: true,
+                ready_ns: start + latency,
+                writebacks: 0,
+            }
+        } else {
+            ProbeOutcome {
+                hit: false,
+                ready_ns: tag_done,
+                writebacks: 0,
+            }
+        }
+    }
+
+    fn fill(&mut self, byte_addr: u64, dirty: bool, now_ns: u64) -> FillOutcome {
+        let la = self.cache.line_addr(byte_addr);
+        self.energy
+            .deposit(EnergyEvent::DataWrite, self.design.write_energy_nj());
+        // Fills drain through fill buffers into idle bank slots, so they
+        // cost energy and latency but do not block demand accesses.
+        let start = now_ns;
+        let mut writebacks = 0;
+        if let Some(victim) = self.cache.fill(la, dirty, now_ns) {
+            if victim.dirty {
+                writebacks += 1;
+                self.stats_writebacks += 1;
+                // Reading the victim out for write-back costs a data read.
+                self.energy
+                    .deposit(EnergyEvent::Writeback, self.design.read_energy_nj());
+            }
+        }
+        FillOutcome {
+            ready_ns: start + self.write_ns,
+            writebacks,
+        }
+    }
+
+    fn maintain(&mut self, _now_ns: u64) {}
+
+    fn maintenance_interval_ns(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn energy(&self) -> &EnergyAccount {
+        &self.energy
+    }
+
+    fn summary(&self) -> LlcStats {
+        let s = self.cache.stats();
+        LlcStats {
+            read_hits: s.read_hits.get(),
+            read_misses: s.read_misses.get(),
+            write_hits: s.write_hits.get(),
+            write_misses: s.write_misses.get(),
+            writebacks: self.stats_writebacks,
+        }
+    }
+
+    fn write_count_matrix(&self) -> Vec<Vec<u64>> {
+        self.cache.write_count_matrix()
+    }
+
+    fn reset_measurement(&mut self) {
+        self.cache.reset_stats();
+        self.energy.reset();
+        self.stats_writebacks = 0;
+    }
+}
+
+/// A concrete sum over every LLC flavour, so simulator configurations stay
+/// plain data (no trait objects in configs).
+///
+/// The variants intentionally differ in size: exactly one `AnyLlc` exists
+/// per simulated GPU, so boxing the smaller variant would buy nothing.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)]
+pub enum AnyLlc {
+    /// Conventional single-array LLC (SRAM or uniform STT-RAM).
+    Single(SingleLlc),
+    /// The paper's two-part LR/HR LLC.
+    TwoPart(Box<TwoPartLlc>),
+}
+
+impl AnyLlc {
+    /// Access to the two-part internals when applicable (experiment
+    /// harness uses this for LR/HR breakdowns).
+    pub fn as_two_part(&self) -> Option<&TwoPartLlc> {
+        match self {
+            AnyLlc::Single(_) => None,
+            AnyLlc::TwoPart(t) => Some(t),
+        }
+    }
+
+    fn inner(&self) -> &dyn LlcModel {
+        match self {
+            AnyLlc::Single(s) => s,
+            AnyLlc::TwoPart(t) => t.as_ref(),
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn LlcModel {
+        match self {
+            AnyLlc::Single(s) => s,
+            AnyLlc::TwoPart(t) => t.as_mut(),
+        }
+    }
+}
+
+impl From<SingleLlc> for AnyLlc {
+    fn from(s: SingleLlc) -> Self {
+        AnyLlc::Single(s)
+    }
+}
+
+impl From<TwoPartLlc> for AnyLlc {
+    fn from(t: TwoPartLlc) -> Self {
+        AnyLlc::TwoPart(Box::new(t))
+    }
+}
+
+impl LlcModel for AnyLlc {
+    fn line_bytes(&self) -> u32 {
+        self.inner().line_bytes()
+    }
+
+    fn probe(&mut self, byte_addr: u64, kind: AccessKind, now_ns: u64) -> ProbeOutcome {
+        self.inner_mut().probe(byte_addr, kind, now_ns)
+    }
+
+    fn fill(&mut self, byte_addr: u64, dirty: bool, now_ns: u64) -> FillOutcome {
+        self.inner_mut().fill(byte_addr, dirty, now_ns)
+    }
+
+    fn maintain(&mut self, now_ns: u64) {
+        self.inner_mut().maintain(now_ns);
+    }
+
+    fn maintenance_interval_ns(&self) -> u64 {
+        self.inner().maintenance_interval_ns()
+    }
+
+    fn energy(&self) -> &EnergyAccount {
+        self.inner().energy()
+    }
+
+    fn summary(&self) -> LlcStats {
+        self.inner().summary()
+    }
+
+    fn write_count_matrix(&self) -> Vec<Vec<u64>> {
+        self.inner().write_count_matrix()
+    }
+
+    fn reset_measurement(&mut self) {
+        self.inner_mut().reset_measurement();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sttgpu_device::mtj::RetentionTime;
+
+    fn sram() -> SingleLlc {
+        SingleLlc::new(64, 8, 256, 4, MemTechnology::Sram)
+    }
+
+    fn stt() -> SingleLlc {
+        SingleLlc::new(
+            256,
+            8,
+            256,
+            4,
+            MemTechnology::stt_for_retention(RetentionTime::from_years(10.0)),
+        )
+    }
+
+    #[test]
+    fn miss_fill_hit_cycle() {
+        let mut l2 = sram();
+        assert!(!l2.probe(0x8000, AccessKind::Read, 0).hit);
+        l2.fill(0x8000, false, 50);
+        assert!(l2.probe(0x8000, AccessKind::Read, 100).hit);
+        let s = l2.summary();
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.read_hits, 1);
+    }
+
+    #[test]
+    fn hit_latency_includes_tag_and_data() {
+        let mut l2 = sram();
+        l2.fill(0x100, false, 0);
+        let out = l2.probe(0x100, AccessKind::Read, 1_000);
+        assert!(out.hit);
+        assert!(out.ready_ns > 1_000, "some latency must accrue");
+    }
+
+    #[test]
+    fn stt_write_occupies_bank_longer_than_read() {
+        let mut l2 = stt();
+        l2.fill(0x100, false, 0);
+        let t0 = 1_000;
+        let w = l2.probe(0x100, AccessKind::Write, t0);
+        let mut l2b = stt();
+        l2b.fill(0x100, false, 0);
+        let r = l2b.probe(0x100, AccessKind::Read, t0);
+        assert!(
+            w.ready_ns - t0 > r.ready_ns - t0 + 5,
+            "write {} vs read {}",
+            w.ready_ns - t0,
+            r.ready_ns - t0
+        );
+    }
+
+    #[test]
+    fn bank_contention_serialises_same_bank_accesses() {
+        let mut l2 = stt();
+        l2.fill(0x0, false, 0);
+        let a = l2.probe(0x0, AccessKind::Write, 1_000);
+        let b = l2.probe(0x0, AccessKind::Write, 1_000);
+        // The second write to the same bank waits for the first pulse's
+        // occupancy (10y pulse / subarray parallelism, ~5 ns).
+        assert!(
+            b.ready_ns >= a.ready_ns + 5,
+            "a {} b {}",
+            a.ready_ns,
+            b.ready_ns
+        );
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        // 1-line-per-set cache: 4 KB, 1-way, 16 sets.
+        let mut l2 = SingleLlc::new(4, 1, 256, 1, MemTechnology::Sram);
+        l2.fill(0, true, 0);
+        // Same set: line addr 16 sets apart.
+        let conflicting = 16 * 256;
+        let out = l2.fill(conflicting as u64, false, 10);
+        assert_eq!(out.writebacks, 1);
+        assert_eq!(l2.summary().writebacks, 1);
+    }
+
+    #[test]
+    fn energy_accrues_per_event() {
+        let mut l2 = sram();
+        let before = l2.energy().dynamic_nj();
+        l2.probe(0x0, AccessKind::Read, 0); // miss: tag energy only
+        let after_miss = l2.energy().dynamic_nj();
+        assert!(after_miss > before);
+        l2.fill(0x0, false, 10);
+        l2.probe(0x0, AccessKind::Read, 20); // hit: tag + data
+        assert!(l2.energy().dynamic_nj() > after_miss);
+    }
+
+    #[test]
+    fn leakage_is_configured_from_design() {
+        let l2 = sram();
+        assert!(l2.energy().leakage_mw() > 0.0);
+        let stt = stt();
+        // 4x capacity STT still leaks less than 1x SRAM.
+        assert!(stt.energy().leakage_mw() < l2.energy().leakage_mw());
+    }
+
+    #[test]
+    fn reset_measurement_keeps_contents() {
+        let mut l2 = sram();
+        l2.fill(0x40, false, 0);
+        l2.probe(0x40, AccessKind::Read, 10);
+        l2.reset_measurement();
+        assert_eq!(l2.summary().accesses(), 0);
+        assert!(
+            l2.probe(0x40, AccessKind::Read, 20).hit,
+            "contents survive reset"
+        );
+    }
+
+    #[test]
+    fn any_llc_delegates() {
+        let mut any: AnyLlc = sram().into();
+        assert!(any.as_two_part().is_none());
+        assert!(!any.probe(0x0, AccessKind::Read, 0).hit);
+        any.fill(0x0, false, 1);
+        assert!(any.probe(0x0, AccessKind::Read, 2).hit);
+        assert_eq!(any.line_bytes(), 256);
+        assert_eq!(any.maintenance_interval_ns(), u64::MAX);
+    }
+}

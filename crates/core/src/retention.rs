@@ -1,0 +1,208 @@
+//! Per-line retention counters and refresh deadlines.
+//!
+//! The paper attaches an n-bit **retention counter (RC)** to every line —
+//! 4 bits in the LR part, 2 bits in the HR part — ticking at a rate such
+//! that the counter spans exactly one retention period. A line whose RC
+//! reaches the **last tick** is refreshed (LR) or expired (HR): "postpone
+//! refresh of data blocks to the last cycles of retention period".
+//!
+//! Rather than simulating counter flip-flops cycle by cycle, we store the
+//! time of the last array write per line and derive the RC value on
+//! demand; the semantics are identical and the cost is O(1) per query.
+
+use sttgpu_device::mtj::RetentionTime;
+
+/// Derives retention-counter values and refresh/expiry deadlines for one
+/// cache part.
+///
+/// # Example
+///
+/// ```
+/// use sttgpu_core::RetentionTracker;
+/// use sttgpu_device::mtj::RetentionTime;
+///
+/// // The LR part: 26.5 us retention tracked by a 4-bit counter.
+/// let rc = RetentionTracker::new(RetentionTime::from_micros(26.5), 4);
+/// assert_eq!(rc.max_count(), 15);
+///
+/// let written_at = 0;
+/// assert_eq!(rc.count(written_at, 0), 0);
+/// assert!(!rc.needs_refresh(written_at, 10_000));       // mid-life
+/// assert!(rc.needs_refresh(written_at, 25_000));        // last tick
+/// assert!(rc.is_expired(written_at, 27_000));           // beyond retention
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionTracker {
+    retention_ns: u64,
+    bits: u32,
+    tick_ns: u64,
+}
+
+impl RetentionTracker {
+    /// Creates a tracker for a retention period divided into `2^bits`
+    /// counter ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16, or if the tick period
+    /// would round to zero nanoseconds.
+    pub fn new(retention: RetentionTime, bits: u32) -> Self {
+        assert!(
+            (1..=16).contains(&bits),
+            "counter width {bits} out of range"
+        );
+        let retention_ns = retention.as_nanos_u64();
+        let tick_ns = retention_ns >> bits;
+        assert!(tick_ns > 0, "retention too short for a {bits}-bit counter");
+        RetentionTracker {
+            retention_ns,
+            bits,
+            tick_ns,
+        }
+    }
+
+    /// The retention period, ns.
+    pub fn retention_ns(&self) -> u64 {
+        self.retention_ns
+    }
+
+    /// Counter width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Duration of one counter tick, ns.
+    pub fn tick_ns(&self) -> u64 {
+        self.tick_ns
+    }
+
+    /// Saturation value of the counter (`2^bits - 1`).
+    pub fn max_count(&self) -> u64 {
+        (1u64 << self.bits) - 1
+    }
+
+    /// The counter value a line written at `written_at_ns` shows at
+    /// `now_ns` (saturating).
+    pub fn count(&self, written_at_ns: u64, now_ns: u64) -> u64 {
+        let age = now_ns.saturating_sub(written_at_ns);
+        (age / self.tick_ns).min(self.max_count())
+    }
+
+    /// Whether the line has entered its last retention tick — the moment
+    /// the refresh engine must act.
+    pub fn needs_refresh(&self, written_at_ns: u64, now_ns: u64) -> bool {
+        self.needs_refresh_with_slack(written_at_ns, now_ns, 0)
+    }
+
+    /// Like [`needs_refresh`](Self::needs_refresh) but triggering `slack`
+    /// ticks early (0 = the paper's postpone-to-the-last-tick policy).
+    pub fn needs_refresh_with_slack(&self, written_at_ns: u64, now_ns: u64, slack: u64) -> bool {
+        self.count(written_at_ns, now_ns) >= self.max_count().saturating_sub(slack)
+    }
+
+    /// Whether the line's data has outlived the retention period entirely
+    /// (data loss if still unrefreshed).
+    pub fn is_expired(&self, written_at_ns: u64, now_ns: u64) -> bool {
+        now_ns.saturating_sub(written_at_ns) >= self.retention_ns
+    }
+
+    /// The absolute time at which the line enters its last tick; the
+    /// refresh engine must run before [`expiry_deadline_ns`] but may wait
+    /// until here.
+    ///
+    /// [`expiry_deadline_ns`]: RetentionTracker::expiry_deadline_ns
+    pub fn refresh_deadline_ns(&self, written_at_ns: u64) -> u64 {
+        written_at_ns.saturating_add(self.tick_ns * self.max_count())
+    }
+
+    /// The absolute time at which the data is lost.
+    pub fn expiry_deadline_ns(&self, written_at_ns: u64) -> u64 {
+        written_at_ns.saturating_add(self.retention_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lr() -> RetentionTracker {
+        // 16 us retention, 4-bit counter -> 1 us ticks.
+        RetentionTracker::new(RetentionTime::from_micros(16.0), 4)
+    }
+
+    #[test]
+    fn tick_is_retention_over_two_pow_bits() {
+        let rc = lr();
+        assert_eq!(rc.tick_ns(), 1_000);
+        assert_eq!(rc.max_count(), 15);
+        assert_eq!(rc.retention_ns(), 16_000);
+    }
+
+    #[test]
+    fn count_advances_per_tick_and_saturates() {
+        let rc = lr();
+        assert_eq!(rc.count(0, 0), 0);
+        assert_eq!(rc.count(0, 999), 0);
+        assert_eq!(rc.count(0, 1_000), 1);
+        assert_eq!(rc.count(0, 14_999), 14);
+        assert_eq!(rc.count(0, 15_000), 15);
+        assert_eq!(rc.count(0, 1_000_000), 15, "saturates");
+    }
+
+    #[test]
+    fn refresh_in_last_tick_only() {
+        let rc = lr();
+        assert!(!rc.needs_refresh(0, 14_999));
+        assert!(rc.needs_refresh(0, 15_000));
+        assert!(!rc.is_expired(0, 15_999));
+        assert!(rc.is_expired(0, 16_000));
+    }
+
+    #[test]
+    fn rewrite_resets_the_clock() {
+        let rc = lr();
+        // A line rewritten at t=10_000 is young again.
+        assert_eq!(rc.count(10_000, 10_500), 0);
+        assert!(!rc.needs_refresh(10_000, 24_000));
+        assert!(rc.needs_refresh(10_000, 25_000));
+    }
+
+    #[test]
+    fn deadlines() {
+        let rc = lr();
+        assert_eq!(rc.refresh_deadline_ns(2_000), 17_000);
+        assert_eq!(rc.expiry_deadline_ns(2_000), 18_000);
+        assert!(rc.refresh_deadline_ns(0) < rc.expiry_deadline_ns(0));
+    }
+
+    #[test]
+    fn slack_triggers_refresh_earlier() {
+        let rc = lr();
+        // Slack 4 on a 4-bit counter: refresh from tick 11 instead of 15.
+        assert!(!rc.needs_refresh_with_slack(0, 10_999, 4));
+        assert!(rc.needs_refresh_with_slack(0, 11_000, 4));
+        assert!(!rc.needs_refresh(0, 11_000), "lazy policy waits");
+    }
+
+    #[test]
+    fn hr_two_bit_counter() {
+        // 4 ms retention, 2-bit counter -> 1 ms ticks.
+        let rc = RetentionTracker::new(RetentionTime::from_millis(4.0), 2);
+        assert_eq!(rc.tick_ns(), 1_000_000);
+        assert_eq!(rc.max_count(), 3);
+        assert!(rc.needs_refresh(0, 3_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_zero_bits() {
+        RetentionTracker::new(RetentionTime::from_millis(1.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_sub_tick_retention() {
+        RetentionTime::from_nanos(8.0); // fine on its own
+        RetentionTracker::new(RetentionTime::from_nanos(8.0), 4);
+    }
+}

@@ -1,0 +1,1144 @@
+//! The two-part low/high-retention STT-RAM LLC — the paper's contribution.
+
+use sttgpu_cache::{AccessKind, BankArbiter, Evicted, SetAssocCache};
+use sttgpu_device::array::{ArrayDesign, ArrayGeometry};
+use sttgpu_device::cell::MemTechnology;
+use sttgpu_device::energy::{EnergyAccount, EnergyEvent};
+use sttgpu_stats::Histogram;
+
+use crate::config::{SearchMode, TwoPartConfig};
+use crate::llc::{FillOutcome, LlcModel, LlcStats, ProbeOutcome};
+use crate::retention::RetentionTracker;
+use crate::search::{Part, SearchSelector};
+use crate::swap::SwapBuffer;
+use crate::wws::WwsMonitor;
+
+/// Energy of moving one block through a swap buffer, nJ (small SRAM FIFO).
+const BUFFER_ENERGY_NJ: f64 = 0.01;
+
+/// Fig. 6 histogram bucket bounds, ns (≤1 µs, ≤5 µs, ≤10 µs, ≤1 ms,
+/// ≤2.5 ms, then an implicit >2.5 ms bucket).
+pub(crate) const REWRITE_BUCKET_BOUNDS_NS: [u64; 5] = [1_000, 5_000, 10_000, 1_000_000, 2_500_000];
+
+/// Per-line metadata of both parts: when the cell array last physically
+/// wrote this line (fill, demand write or refresh) — the retention clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct RetMeta {
+    written_at_ns: u64,
+}
+
+/// Counters specific to the two-part architecture.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TwoPartStats {
+    /// Read probes that hit in the LR part.
+    pub lr_read_hits: u64,
+    /// Read probes that hit in the HR part.
+    pub hr_read_hits: u64,
+    /// Write probes that hit in the LR part.
+    pub lr_write_hits: u64,
+    /// Write probes that hit in the HR part (before any migration).
+    pub hr_write_hits: u64,
+    /// Read probes that missed both parts.
+    pub read_misses: u64,
+    /// Write probes that missed both parts.
+    pub write_misses: u64,
+    /// Demand writes ultimately serviced by the LR array (write hits in
+    /// LR, migration-triggered writes, dirty fills into LR).
+    pub demand_writes_lr: u64,
+    /// Demand writes ultimately serviced by the HR array.
+    pub demand_writes_hr: u64,
+    /// Physical LR data-array write operations (demand + fills +
+    /// migrations + refreshes).
+    pub lr_array_writes: u64,
+    /// Physical HR data-array write operations.
+    pub hr_array_writes: u64,
+    /// Blocks promoted HR→LR by the WWS monitor.
+    pub migrations_to_lr: u64,
+    /// Blocks demoted LR→HR on LR eviction.
+    pub demotions_to_hr: u64,
+    /// LR lines refreshed in their last retention tick.
+    pub refreshes: u64,
+    /// LR lines that expired before refresh (maintenance cadence was
+    /// violated) — should stay zero in healthy runs.
+    pub lr_expirations: u64,
+    /// HR lines invalidated at the end of their retention (no refresh in
+    /// HR by design).
+    pub hr_expirations: u64,
+    /// Dirty lines written back to DRAM (evictions, expiries, buffer
+    /// overflows).
+    pub writebacks: u64,
+    /// Write-backs forced specifically by swap-buffer overflow.
+    pub overflow_writebacks: u64,
+    /// Sequential-search hits found only in the second-probed part.
+    pub second_search_hits: u64,
+    /// Lines filled into LR on DRAM fills.
+    pub fills_to_lr: u64,
+    /// Lines filled into HR on DRAM fills.
+    pub fills_to_hr: u64,
+    /// LR wear-rotations performed.
+    pub lr_rotations: u64,
+}
+
+impl TwoPartStats {
+    /// Total demand writes serviced by either part.
+    pub fn demand_writes(&self) -> u64 {
+        self.demand_writes_lr + self.demand_writes_hr
+    }
+
+    /// Fraction of demand writes serviced in the LR part — the "LR write
+    /// utilization" of Figs. 4 and 5.
+    pub fn lr_write_utilization(&self) -> f64 {
+        let total = self.demand_writes();
+        if total == 0 {
+            0.0
+        } else {
+            self.demand_writes_lr as f64 / total as f64
+        }
+    }
+
+    /// LR-to-HR demand-write ratio (Fig. 4's first panel).
+    pub fn lr_to_hr_write_ratio(&self) -> f64 {
+        if self.demand_writes_hr == 0 {
+            self.demand_writes_lr as f64
+        } else {
+            self.demand_writes_lr as f64 / self.demand_writes_hr as f64
+        }
+    }
+
+    /// Total physical array writes in both parts (Fig. 4's "write
+    /// overhead" numerator — migrations and refreshes count).
+    pub fn total_array_writes(&self) -> u64 {
+        self.lr_array_writes + self.hr_array_writes
+    }
+
+    /// Fraction of demand write *probes* that found their block already
+    /// LR-resident — the Fig. 5 "LR write utilization": conflict evictions
+    /// in a low-associativity LR push WWS blocks out between writes, so
+    /// the next write finds them in HR (or missing) instead.
+    pub fn direct_lr_write_hit_rate(&self) -> f64 {
+        let probes = self.lr_write_hits + self.hr_write_hits + self.write_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.lr_write_hits as f64 / probes as f64
+        }
+    }
+}
+
+/// The two-part low/high-retention STT-RAM last-level cache.
+///
+/// See the [crate docs](crate) for the architecture overview and
+/// [`TwoPartConfig`] for the knobs. The type implements [`LlcModel`], so it
+/// drops into the GPU simulator wherever the SRAM baseline does.
+///
+/// # Example
+///
+/// ```
+/// use sttgpu_cache::AccessKind;
+/// use sttgpu_core::{LlcModel, TwoPartConfig, TwoPartLlc};
+///
+/// let mut llc = TwoPartLlc::new(TwoPartConfig::new(48, 2, 336, 7, 256));
+///
+/// // A clean (read) fill lands in HR; the first write migrates it to LR.
+/// llc.fill(0x1000, false, 0);
+/// assert!(llc.hr_contains(0x1000));
+/// llc.probe(0x1000, AccessKind::Write, 100);
+/// assert!(llc.lr_contains(0x1000));
+/// assert_eq!(llc.stats().migrations_to_lr, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoPartLlc {
+    cfg: TwoPartConfig,
+    lr: SetAssocCache<RetMeta>,
+    hr: SetAssocCache<RetMeta>,
+    lr_arb: BankArbiter,
+    hr_arb: BankArbiter,
+    lr_design: ArrayDesign,
+    hr_design: ArrayDesign,
+    lr_rc: RetentionTracker,
+    hr_rc: RetentionTracker,
+    wws: WwsMonitor,
+    hr_to_lr: SwapBuffer,
+    lr_to_hr: SwapBuffer,
+    energy: EnergyAccount,
+    stats: TwoPartStats,
+    lr_rewrite_intervals: Histogram,
+    hr_rewrite_intervals: Histogram,
+    next_rotation_ns: u64,
+    // Cached integer timings, ns.
+    lr_tag_ns: u64,
+    hr_tag_ns: u64,
+    lr_read_ns: u64,
+    hr_read_ns: u64,
+    lr_write_ns: u64,
+    hr_write_ns: u64,
+    lr_read_occ_ns: u64,
+    hr_read_occ_ns: u64,
+    lr_write_occ_ns: u64,
+    hr_write_occ_ns: u64,
+}
+
+impl TwoPartLlc {
+    /// Builds the LLC from a configuration, pricing both arrays with the
+    /// device model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (see
+    /// [`TwoPartConfig`]).
+    pub fn new(cfg: TwoPartConfig) -> Self {
+        let lr_geom =
+            ArrayGeometry::new(cfg.lr_kb * 1024, cfg.line_bytes, cfg.lr_ways, cfg.lr_banks);
+        let hr_geom =
+            ArrayGeometry::new(cfg.hr_kb * 1024, cfg.line_bytes, cfg.hr_ways, cfg.hr_banks);
+        let lr_mtj = sttgpu_device::mtj::MtjDesign::for_retention(cfg.lr_retention)
+            .with_ewt_savings(cfg.ewt_savings);
+        let hr_mtj = sttgpu_device::mtj::MtjDesign::for_retention(cfg.hr_retention)
+            .with_ewt_savings(cfg.ewt_savings);
+        let lr_design = ArrayDesign::new(lr_geom, MemTechnology::SttRam(lr_mtj));
+        let hr_design = ArrayDesign::new(hr_geom, MemTechnology::SttRam(hr_mtj));
+        let lr = SetAssocCache::new(
+            lr_geom.sets() as usize,
+            cfg.lr_ways as usize,
+            cfg.line_bytes,
+            cfg.replacement,
+        );
+        let hr = SetAssocCache::new(
+            hr_geom.sets() as usize,
+            cfg.hr_ways as usize,
+            cfg.line_bytes,
+            cfg.replacement,
+        );
+        let energy =
+            EnergyAccount::with_leakage_mw(lr_design.leakage_mw() + hr_design.leakage_mw());
+        TwoPartLlc {
+            lr,
+            hr,
+            lr_arb: BankArbiter::new(cfg.lr_banks as usize),
+            hr_arb: BankArbiter::new(cfg.hr_banks as usize),
+            lr_rc: RetentionTracker::new(cfg.lr_retention, cfg.lr_rc_bits),
+            hr_rc: RetentionTracker::new(cfg.hr_retention, cfg.hr_rc_bits),
+            wws: WwsMonitor::new(cfg.write_threshold),
+            hr_to_lr: SwapBuffer::new(cfg.buffer_blocks),
+            lr_to_hr: SwapBuffer::new(cfg.buffer_blocks),
+            energy,
+            stats: TwoPartStats::default(),
+            lr_rewrite_intervals: Histogram::new(&REWRITE_BUCKET_BOUNDS_NS),
+            hr_rewrite_intervals: Histogram::new(&REWRITE_BUCKET_BOUNDS_NS),
+            next_rotation_ns: cfg.lr_rotation_period_ns.unwrap_or(u64::MAX),
+            lr_tag_ns: lr_design.tag_latency_ns().ceil() as u64,
+            hr_tag_ns: hr_design.tag_latency_ns().ceil() as u64,
+            lr_read_ns: lr_design.read_latency_ns().ceil() as u64,
+            hr_read_ns: hr_design.read_latency_ns().ceil() as u64,
+            lr_write_ns: lr_design.write_latency_ns().ceil() as u64,
+            hr_write_ns: hr_design.write_latency_ns().ceil() as u64,
+            lr_read_occ_ns: lr_design.read_occupancy_ns().ceil() as u64,
+            hr_read_occ_ns: hr_design.read_occupancy_ns().ceil() as u64,
+            lr_write_occ_ns: lr_design.write_occupancy_ns().ceil() as u64,
+            hr_write_occ_ns: hr_design.write_occupancy_ns().ceil() as u64,
+            lr_design,
+            hr_design,
+            cfg,
+        }
+    }
+
+    /// The configuration this LLC was built from.
+    pub fn config(&self) -> &TwoPartConfig {
+        &self.cfg
+    }
+
+    /// Architecture-specific statistics.
+    pub fn stats(&self) -> &TwoPartStats {
+        &self.stats
+    }
+
+    /// Distribution of rewrite intervals observed in the LR part (Fig. 6).
+    pub fn lr_rewrite_intervals(&self) -> &Histogram {
+        &self.lr_rewrite_intervals
+    }
+
+    /// Distribution of rewrite intervals observed in the HR part (used to
+    /// justify the 4 ms HR retention).
+    pub fn hr_rewrite_intervals(&self) -> &Histogram {
+        &self.hr_rewrite_intervals
+    }
+
+    /// Whether `byte_addr`'s line currently resides in the LR part.
+    pub fn lr_contains(&self, byte_addr: u64) -> bool {
+        self.lr.contains(byte_addr / self.cfg.line_bytes as u64)
+    }
+
+    /// Whether `byte_addr`'s line currently resides in the HR part.
+    pub fn hr_contains(&self, byte_addr: u64) -> bool {
+        self.hr.contains(byte_addr / self.cfg.line_bytes as u64)
+    }
+
+    /// The priced LR array design.
+    pub fn lr_design(&self) -> &ArrayDesign {
+        &self.lr_design
+    }
+
+    /// The priced HR array design.
+    pub fn hr_design(&self) -> &ArrayDesign {
+        &self.hr_design
+    }
+
+    /// Peak simultaneous occupancy of (HR→LR, LR→HR) swap buffers.
+    pub fn buffer_peaks(&self) -> (usize, usize) {
+        (
+            self.hr_to_lr.peak_occupancy(),
+            self.lr_to_hr.peak_occupancy(),
+        )
+    }
+
+    /// Total swap-buffer overflows (each forced a write-back or drop).
+    pub fn buffer_overflows(&self) -> u64 {
+        self.hr_to_lr.overflows() + self.lr_to_hr.overflows()
+    }
+
+    fn part_contains(&self, part: Part, la: u64) -> bool {
+        match part {
+            Part::Lr => self.lr.contains(la),
+            Part::Hr => self.hr.contains(la),
+        }
+    }
+
+    fn tag_ns(&self, part: Part) -> u64 {
+        match part {
+            Part::Lr => self.lr_tag_ns,
+            Part::Hr => self.hr_tag_ns,
+        }
+    }
+
+    fn deposit_tag(&mut self, part: Part) {
+        let nj = match part {
+            Part::Lr => self.lr_design.tag_energy_nj(),
+            Part::Hr => self.hr_design.tag_energy_nj(),
+        };
+        self.energy.deposit(EnergyEvent::TagLookup, nj);
+    }
+
+    /// Services a read hit in `part`. Returns completion time.
+    fn service_read(&mut self, part: Part, la: u64, tag_done_ns: u64, now_ns: u64) -> u64 {
+        match part {
+            Part::Lr => {
+                self.lr.lookup(la, AccessKind::Read, now_ns);
+                self.stats.lr_read_hits += 1;
+                self.energy
+                    .deposit(EnergyEvent::DataRead, self.lr_design.read_energy_nj());
+                let bank = self.lr_arb.bank_of(la);
+                let start = self.lr_arb.reserve(bank, tag_done_ns, self.lr_read_occ_ns);
+                start + self.lr_read_ns
+            }
+            Part::Hr => {
+                self.hr.lookup(la, AccessKind::Read, now_ns);
+                self.stats.hr_read_hits += 1;
+                self.energy
+                    .deposit(EnergyEvent::DataRead, self.hr_design.read_energy_nj());
+                let bank = self.hr_arb.bank_of(la);
+                let start = self.hr_arb.reserve(bank, tag_done_ns, self.hr_read_occ_ns);
+                start + self.hr_read_ns
+            }
+        }
+    }
+
+    /// Physically writes a line already resident in LR. Returns completion.
+    fn lr_demand_write(&mut self, la: u64, tag_done_ns: u64, now_ns: u64) -> u64 {
+        // Record the rewrite interval before the write updates the clock.
+        if let Some(line) = self.lr.peek(la) {
+            let prev = line.last_write_ns();
+            if prev > 0 && now_ns > prev {
+                self.lr_rewrite_intervals.record(now_ns - prev);
+            }
+        }
+        self.lr.lookup(la, AccessKind::Write, now_ns);
+        if let Some(line) = self.lr.peek_mut(la) {
+            line.meta.written_at_ns = now_ns;
+        }
+        self.stats.lr_write_hits += 1;
+        self.stats.demand_writes_lr += 1;
+        self.stats.lr_array_writes += 1;
+        self.energy
+            .deposit(EnergyEvent::DataWrite, self.lr_design.write_energy_nj());
+        let bank = self.lr_arb.bank_of(la);
+        let start = self.lr_arb.reserve(bank, tag_done_ns, self.lr_write_occ_ns);
+        start + self.lr_write_ns
+    }
+
+    /// Handles a write that hit in HR: either service it in place or
+    /// migrate the block to LR per the WWS monitor.
+    fn hr_write_hit(&mut self, la: u64, tag_done_ns: u64, now_ns: u64) -> (u64, u32) {
+        if let Some(line) = self.hr.peek(la) {
+            let prev = line.last_write_ns();
+            if prev > 0 && now_ns > prev {
+                self.hr_rewrite_intervals.record(now_ns - prev);
+            }
+        }
+        self.hr.lookup(la, AccessKind::Write, now_ns);
+        self.stats.hr_write_hits += 1;
+        let count = self.hr.peek(la).map_or(1, |l| l.write_count());
+
+        if self.wws.should_migrate(count) {
+            // Promote: read the block out of HR, stage it in the HR→LR
+            // buffer, write it (merged with the demand data) into LR. The
+            // whole hop runs on migration ports (the paper banks the HR
+            // part "to enable migration of multiple data blocks" and the
+            // buffers decouple the arrays' latencies), so demand banks
+            // stay free; the buffer capacity is the bandwidth limit.
+            let read_done = tag_done_ns + self.hr_read_ns;
+            self.energy
+                .deposit(EnergyEvent::DataRead, self.hr_design.read_energy_nj());
+            let write_done = read_done + self.lr_write_ns;
+
+            if self.hr_to_lr.try_reserve(now_ns, write_done) {
+                self.energy.deposit(EnergyEvent::Buffer, BUFFER_ENERGY_NJ);
+                self.energy
+                    .deposit(EnergyEvent::Migration, self.lr_design.write_energy_nj());
+                let victim = self.hr.extract(la).expect("hit line must extract");
+                self.stats.migrations_to_lr += 1;
+                self.stats.demand_writes_lr += 1;
+                self.stats.lr_array_writes += 1;
+                let mut writebacks = 0;
+                let evicted = self.lr.fill_with(
+                    la,
+                    true,
+                    victim.write_count,
+                    RetMeta {
+                        written_at_ns: now_ns,
+                    },
+                    now_ns,
+                );
+                if let Some(lr_victim) = evicted {
+                    writebacks += self.demote(lr_victim, now_ns);
+                }
+                (write_done, writebacks)
+            } else {
+                // Buffer full: fall back to servicing the write in HR.
+                let wb = self.hr_write_in_place(la, tag_done_ns, now_ns);
+                (wb, 0)
+            }
+        } else {
+            (self.hr_write_in_place(la, tag_done_ns, now_ns), 0)
+        }
+    }
+
+    /// Writes a line in place in the HR array (below-threshold writes and
+    /// buffer-full fallbacks). Returns completion time.
+    fn hr_write_in_place(&mut self, la: u64, tag_done_ns: u64, now_ns: u64) -> u64 {
+        if let Some(line) = self.hr.peek_mut(la) {
+            line.meta.written_at_ns = now_ns;
+        }
+        self.stats.demand_writes_hr += 1;
+        self.stats.hr_array_writes += 1;
+        self.energy
+            .deposit(EnergyEvent::DataWrite, self.hr_design.write_energy_nj());
+        let bank = self.hr_arb.bank_of(la);
+        let start = self.hr_arb.reserve(bank, tag_done_ns, self.hr_write_occ_ns);
+        start + self.hr_write_ns
+    }
+
+    /// Demotes an LR victim into HR through the LR→HR buffer. Returns the
+    /// number of DRAM write-backs generated.
+    fn demote(&mut self, victim: Evicted<RetMeta>, now_ns: u64) -> u32 {
+        // The whole demotion runs on migration ports: read the victim out
+        // of LR, stage it, write it into HR. Demand banks stay free — the
+        // swap buffers exist precisely to decouple this from the demand
+        // path ("small buffers are needed to support data block
+        // migration"). The victim moves as soon as it is extracted, so
+        // buffer slots are held for the fixed read+write hop only.
+        let read_done = now_ns + self.lr_read_ns;
+        self.energy
+            .deposit(EnergyEvent::DataRead, self.lr_design.read_energy_nj());
+        let write_done = read_done + self.hr_write_ns;
+
+        if !self.lr_to_hr.try_reserve(now_ns, write_done) {
+            // Buffer full: force the block out to DRAM (paper's data-loss
+            // avoidance rule); clean blocks are simply dropped.
+            if victim.dirty {
+                self.stats.writebacks += 1;
+                self.stats.overflow_writebacks += 1;
+                self.energy
+                    .deposit(EnergyEvent::Writeback, self.lr_design.read_energy_nj());
+                return 1;
+            }
+            return 0;
+        }
+
+        self.energy.deposit(EnergyEvent::Buffer, BUFFER_ENERGY_NJ);
+        self.energy
+            .deposit(EnergyEvent::Migration, self.hr_design.write_energy_nj());
+        self.stats.demotions_to_hr += 1;
+        self.stats.hr_array_writes += 1;
+        // Write counts restart for the new HR residency: the WWS monitor
+        // judges HR-resident behaviour only.
+        let mut writebacks = 0;
+        if let Some(hr_victim) = self.hr.fill_with(
+            victim.line_addr,
+            victim.dirty,
+            0,
+            RetMeta {
+                written_at_ns: now_ns,
+            },
+            now_ns,
+        ) {
+            if hr_victim.dirty {
+                writebacks += 1;
+                self.stats.writebacks += 1;
+                self.energy
+                    .deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
+            }
+        }
+        writebacks
+    }
+
+    /// Drains the LR part into HR and rotates its set mapping — the
+    /// wear-rotation epoch boundary.
+    fn rotate_lr(&mut self, now_ns: u64) {
+        self.stats.lr_rotations += 1;
+        let victims: Vec<Evicted<RetMeta>> = self.lr.flush();
+        // `flush` returns only dirty lines; clean LR lines do not exist
+        // (everything in LR arrived via a write), but be permissive.
+        for victim in victims {
+            self.energy
+                .deposit(EnergyEvent::DataRead, self.lr_design.read_energy_nj());
+            self.energy
+                .deposit(EnergyEvent::Migration, self.hr_design.write_energy_nj());
+            self.stats.demotions_to_hr += 1;
+            self.stats.hr_array_writes += 1;
+            if let Some(hr_victim) = self.hr.fill_with(
+                victim.line_addr,
+                victim.dirty,
+                0,
+                RetMeta {
+                    written_at_ns: now_ns,
+                },
+                now_ns,
+            ) {
+                if hr_victim.dirty {
+                    self.stats.writebacks += 1;
+                    self.energy
+                        .deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
+                }
+            }
+        }
+        // A large prime stride: consecutive epochs must map the (wide)
+        // hot region onto *disjoint* physical sets, which a +1 shift would
+        // not achieve.
+        self.lr.set_salt(self.stats.lr_rotations.wrapping_mul(2593));
+    }
+}
+
+impl LlcModel for TwoPartLlc {
+    fn line_bytes(&self) -> u32 {
+        self.cfg.line_bytes
+    }
+
+    fn probe(&mut self, byte_addr: u64, kind: AccessKind, now_ns: u64) -> ProbeOutcome {
+        let la = byte_addr / self.cfg.line_bytes as u64;
+        let order = SearchSelector::order(kind);
+
+        // Determine the hit part and the time the winning tag lookup
+        // resolves, per the configured search mode.
+        let (hit_part, tag_done_ns) = match self.cfg.search {
+            SearchMode::Sequential => {
+                let mut t = now_ns;
+                let mut found = None;
+                for (i, part) in order.into_iter().enumerate() {
+                    self.deposit_tag(part);
+                    t += self.tag_ns(part);
+                    if self.part_contains(part, la) {
+                        if i == 1 {
+                            self.stats.second_search_hits += 1;
+                        }
+                        found = Some(part);
+                        break;
+                    }
+                }
+                (found, t)
+            }
+            SearchMode::Parallel => {
+                self.deposit_tag(Part::Lr);
+                self.deposit_tag(Part::Hr);
+                let t = now_ns + self.lr_tag_ns.max(self.hr_tag_ns);
+                let found = if self.part_contains(Part::Lr, la) {
+                    Some(Part::Lr)
+                } else if self.part_contains(Part::Hr, la) {
+                    Some(Part::Hr)
+                } else {
+                    None
+                };
+                (found, t)
+            }
+        };
+
+        match (hit_part, kind) {
+            (Some(part), AccessKind::Read) => {
+                let ready = self.service_read(part, la, tag_done_ns, now_ns);
+                ProbeOutcome {
+                    hit: true,
+                    ready_ns: ready,
+                    writebacks: 0,
+                }
+            }
+            (Some(Part::Lr), AccessKind::Write) => {
+                let ready = self.lr_demand_write(la, tag_done_ns, now_ns);
+                ProbeOutcome {
+                    hit: true,
+                    ready_ns: ready,
+                    writebacks: 0,
+                }
+            }
+            (Some(Part::Hr), AccessKind::Write) => {
+                let (ready, writebacks) = self.hr_write_hit(la, tag_done_ns, now_ns);
+                ProbeOutcome {
+                    hit: true,
+                    ready_ns: ready,
+                    writebacks,
+                }
+            }
+            (None, _) => {
+                if kind.is_write() {
+                    self.stats.write_misses += 1;
+                } else {
+                    self.stats.read_misses += 1;
+                }
+                ProbeOutcome {
+                    hit: false,
+                    ready_ns: tag_done_ns,
+                    writebacks: 0,
+                }
+            }
+        }
+    }
+
+    fn fill(&mut self, byte_addr: u64, dirty: bool, now_ns: u64) -> FillOutcome {
+        let la = byte_addr / self.cfg.line_bytes as u64;
+        // A dirty fill is a block entering on a write: at threshold 1 it
+        // is WWS by definition and goes to LR; clean (read) fills go to HR.
+        let to_lr = dirty && 1 >= self.cfg.write_threshold;
+        let mut writebacks = 0;
+        let ready_ns;
+        if to_lr {
+            self.stats.fills_to_lr += 1;
+            self.stats.demand_writes_lr += 1;
+            self.stats.lr_array_writes += 1;
+            self.energy
+                .deposit(EnergyEvent::DataWrite, self.lr_design.write_energy_nj());
+            // Fills drain through fill buffers into idle bank slots.
+            ready_ns = now_ns + self.lr_write_ns;
+            if let Some(victim) = self.lr.fill_with(
+                la,
+                dirty,
+                0,
+                RetMeta {
+                    written_at_ns: now_ns,
+                },
+                now_ns,
+            ) {
+                writebacks += self.demote(victim, now_ns);
+            }
+        } else {
+            self.stats.fills_to_hr += 1;
+            if dirty {
+                self.stats.demand_writes_hr += 1;
+            }
+            self.stats.hr_array_writes += 1;
+            self.energy
+                .deposit(EnergyEvent::DataWrite, self.hr_design.write_energy_nj());
+            // Fills drain through fill buffers into idle bank slots.
+            ready_ns = now_ns + self.hr_write_ns;
+            if let Some(victim) = self.hr.fill_with(
+                la,
+                dirty,
+                dirty as u32,
+                RetMeta {
+                    written_at_ns: now_ns,
+                },
+                now_ns,
+            ) {
+                if victim.dirty {
+                    writebacks += 1;
+                    self.stats.writebacks += 1;
+                    self.energy
+                        .deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
+                }
+            }
+        }
+        FillOutcome {
+            ready_ns,
+            writebacks,
+        }
+    }
+
+    fn maintain(&mut self, now_ns: u64) {
+        if let Some(period) = self.cfg.lr_rotation_period_ns {
+            while self.next_rotation_ns <= now_ns {
+                let t = self.next_rotation_ns;
+                self.rotate_lr(t);
+                self.next_rotation_ns += period;
+            }
+        }
+        // --- LR refresh engine -------------------------------------------
+        // Collect due lines first to keep the borrow checker happy.
+        let mut to_refresh = Vec::new();
+        let mut to_expire = Vec::new();
+        for line in self.lr.iter() {
+            if !line.is_valid() {
+                continue;
+            }
+            let written = line.meta.written_at_ns;
+            if self.lr_rc.is_expired(written, now_ns) {
+                to_expire.push(line.line_addr());
+            } else if self.lr_rc.needs_refresh_with_slack(
+                written,
+                now_ns,
+                self.cfg.refresh_slack_ticks as u64,
+            ) {
+                to_refresh.push(line.line_addr());
+            }
+        }
+        for la in to_expire {
+            // Maintenance cadence was violated: data already lost.
+            self.stats.lr_expirations += 1;
+            if let Some(victim) = self.lr.extract(la) {
+                if victim.dirty {
+                    // Account the (unrecoverable in hardware) loss as a
+                    // write-back so the simulation stays functionally
+                    // consistent; `lr_expirations` flags the violation.
+                    self.stats.writebacks += 1;
+                    self.energy
+                        .deposit(EnergyEvent::Writeback, self.lr_design.read_energy_nj());
+                }
+            }
+        }
+        for la in to_refresh {
+            // Refresh = read the line into the LR→HR buffer, rewrite it.
+            // Runs on the migration port; costs energy and a buffer slot.
+            let done = now_ns + self.lr_read_ns + self.lr_write_ns;
+            if self.lr_to_hr.try_reserve(now_ns, done) {
+                self.energy.deposit(
+                    EnergyEvent::Refresh,
+                    self.lr_design.read_energy_nj() + self.lr_design.write_energy_nj(),
+                );
+                self.energy.deposit(EnergyEvent::Buffer, BUFFER_ENERGY_NJ);
+                self.stats.refreshes += 1;
+                self.stats.lr_array_writes += 1;
+                if let Some(line) = self.lr.peek_mut(la) {
+                    line.meta.written_at_ns = now_ns;
+                }
+            } else if let Some(victim) = self.lr.extract(la) {
+                // No buffer slot before expiry: evacuate instead of losing
+                // data — dirty lines go to DRAM, clean lines are dropped.
+                if victim.dirty {
+                    self.stats.writebacks += 1;
+                    self.stats.overflow_writebacks += 1;
+                    self.energy
+                        .deposit(EnergyEvent::Writeback, self.lr_design.read_energy_nj());
+                }
+            }
+        }
+
+        // --- HR expiry engine --------------------------------------------
+        // HR has no refresh: lines reaching the last RC tick are
+        // invalidated (clean) or written back (dirty).
+        let mut hr_due = Vec::new();
+        for line in self.hr.iter() {
+            if line.is_valid() && self.hr_rc.needs_refresh(line.meta.written_at_ns, now_ns) {
+                hr_due.push(line.line_addr());
+            }
+        }
+        for la in hr_due {
+            self.stats.hr_expirations += 1;
+            if let Some(victim) = self.hr.extract(la) {
+                if victim.dirty {
+                    self.stats.writebacks += 1;
+                    self.energy
+                        .deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
+                }
+            }
+        }
+    }
+
+    fn maintenance_interval_ns(&self) -> u64 {
+        let base = self.lr_rc.tick_ns().min(self.hr_rc.tick_ns());
+        match self.cfg.lr_rotation_period_ns {
+            Some(p) => base.min(p),
+            None => base,
+        }
+    }
+
+    fn energy(&self) -> &EnergyAccount {
+        &self.energy
+    }
+
+    fn summary(&self) -> LlcStats {
+        LlcStats {
+            read_hits: self.stats.lr_read_hits + self.stats.hr_read_hits,
+            read_misses: self.stats.read_misses,
+            write_hits: self.stats.lr_write_hits + self.stats.hr_write_hits,
+            write_misses: self.stats.write_misses,
+            writebacks: self.stats.writebacks,
+        }
+    }
+
+    fn write_count_matrix(&self) -> Vec<Vec<u64>> {
+        let mut m = self.lr.write_count_matrix();
+        m.extend(self.hr.write_count_matrix());
+        m
+    }
+
+    fn reset_measurement(&mut self) {
+        self.lr.reset_stats();
+        self.hr.reset_stats();
+        self.energy.reset();
+        self.stats = TwoPartStats::default();
+        self.lr_rewrite_intervals.reset();
+        self.hr_rewrite_intervals.reset();
+        self.wws.reset_stats();
+        self.hr_to_lr.reset();
+        self.lr_to_hr.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TwoPartLlc {
+        // 8 KB LR (2-way), 56 KB HR (7-way), 256 B lines.
+        TwoPartLlc::new(TwoPartConfig::new(8, 2, 56, 7, 256))
+    }
+
+    fn addr(i: u64) -> u64 {
+        i * 256
+    }
+
+    #[test]
+    fn clean_fill_goes_to_hr() {
+        let mut llc = small();
+        llc.fill(addr(1), false, 0);
+        assert!(llc.hr_contains(addr(1)));
+        assert!(!llc.lr_contains(addr(1)));
+        assert_eq!(llc.stats().fills_to_hr, 1);
+    }
+
+    #[test]
+    fn dirty_fill_goes_to_lr_at_threshold_one() {
+        let mut llc = small();
+        llc.fill(addr(1), true, 0);
+        assert!(llc.lr_contains(addr(1)));
+        assert_eq!(llc.stats().fills_to_lr, 1);
+    }
+
+    #[test]
+    fn dirty_fill_goes_to_hr_at_higher_threshold() {
+        let cfg = TwoPartConfig::new(8, 2, 56, 7, 256).with_write_threshold(3);
+        let mut llc = TwoPartLlc::new(cfg);
+        llc.fill(addr(1), true, 0);
+        assert!(llc.hr_contains(addr(1)));
+    }
+
+    #[test]
+    fn first_write_migrates_hr_block_to_lr() {
+        let mut llc = small();
+        llc.fill(addr(1), false, 0);
+        let out = llc.probe(addr(1), AccessKind::Write, 1_000);
+        assert!(out.hit);
+        assert!(llc.lr_contains(addr(1)), "block must move to LR");
+        assert!(!llc.hr_contains(addr(1)), "exclusive residency");
+        assert_eq!(llc.stats().migrations_to_lr, 1);
+    }
+
+    #[test]
+    fn threshold_three_migrates_on_third_write() {
+        let cfg = TwoPartConfig::new(8, 2, 56, 7, 256).with_write_threshold(3);
+        let mut llc = TwoPartLlc::new(cfg);
+        llc.fill(addr(1), false, 0);
+        llc.probe(addr(1), AccessKind::Write, 100);
+        llc.probe(addr(1), AccessKind::Write, 200);
+        assert!(llc.hr_contains(addr(1)), "two writes stay below TH=3");
+        llc.probe(addr(1), AccessKind::Write, 300);
+        assert!(llc.lr_contains(addr(1)), "third write migrates");
+    }
+
+    #[test]
+    fn exclusivity_invariant_under_traffic() {
+        let mut llc = small();
+        let mut now = 0;
+        for i in 0..2_000u64 {
+            now += 17;
+            let a = addr(i % 300);
+            let kind = if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let out = llc.probe(a, kind, now);
+            if !out.hit {
+                llc.fill(a, kind.is_write(), now + 50);
+            }
+            assert!(
+                !(llc.lr_contains(a) && llc.hr_contains(a)),
+                "line {a:#x} resident in both parts"
+            );
+        }
+    }
+
+    #[test]
+    fn lr_eviction_demotes_to_hr() {
+        let mut llc = small();
+        // LR is 8 KB / 256 B = 32 lines, 2-way, 16 sets. Fill the same LR
+        // set with 3 dirty lines: line addrs congruent mod 16.
+        let base = 0u64;
+        llc.fill(addr(base), true, 0);
+        llc.fill(addr(base + 16), true, 10);
+        llc.fill(addr(base + 32), true, 20);
+        let demoted = [base, base + 16, base + 32]
+            .iter()
+            .filter(|&&i| llc.hr_contains(addr(i)))
+            .count();
+        assert_eq!(demoted, 1, "exactly one LR victim demoted to HR");
+        assert_eq!(llc.stats().demotions_to_hr, 1);
+    }
+
+    #[test]
+    fn reads_hit_in_both_parts() {
+        let mut llc = small();
+        llc.fill(addr(1), false, 0); // HR
+        llc.fill(addr(2), true, 0); // LR
+        assert!(llc.probe(addr(1), AccessKind::Read, 100).hit);
+        assert!(llc.probe(addr(2), AccessKind::Read, 100).hit);
+        assert_eq!(llc.stats().hr_read_hits, 1);
+        assert_eq!(llc.stats().lr_read_hits, 1);
+    }
+
+    #[test]
+    fn sequential_read_hit_in_lr_pays_second_search() {
+        let mut llc = small();
+        llc.fill(addr(2), true, 0); // resides in LR
+        let before = llc.stats().second_search_hits;
+        llc.probe(addr(2), AccessKind::Read, 100); // reads probe HR first
+        assert_eq!(llc.stats().second_search_hits, before + 1);
+    }
+
+    #[test]
+    fn parallel_search_never_counts_second_hits() {
+        let cfg = TwoPartConfig::new(8, 2, 56, 7, 256).with_search(SearchMode::Parallel);
+        let mut llc = TwoPartLlc::new(cfg);
+        llc.fill(addr(2), true, 0);
+        llc.probe(addr(2), AccessKind::Read, 100);
+        assert_eq!(llc.stats().second_search_hits, 0);
+    }
+
+    #[test]
+    fn lr_write_is_faster_than_hr_write() {
+        let mut llc = small();
+        llc.fill(addr(1), true, 0); // LR resident
+        let lr_out = llc.probe(addr(1), AccessKind::Write, 10_000);
+        let lr_latency = lr_out.ready_ns - 10_000;
+
+        // Same geometry, TH=15 so the HR write stays in HR.
+        let cfg = TwoPartConfig::new(8, 2, 56, 7, 256).with_write_threshold(15);
+        let mut llc2 = TwoPartLlc::new(cfg);
+        llc2.fill(addr(1), false, 0); // HR resident
+        let hr_out = llc2.probe(addr(1), AccessKind::Write, 10_000);
+        let hr_latency = hr_out.ready_ns - 10_000;
+
+        assert!(
+            lr_latency < hr_latency,
+            "LR write {lr_latency} ns must beat HR write {hr_latency} ns"
+        );
+    }
+
+    #[test]
+    fn refresh_fires_in_last_tick() {
+        let mut llc = small();
+        llc.fill(addr(1), true, 0); // LR, written at t=0
+        let tick = llc.maintenance_interval_ns();
+        let retention = llc.config().lr_retention.as_nanos_u64();
+        // Just before the last tick: nothing to do.
+        llc.maintain(retention - 2 * tick);
+        assert_eq!(llc.stats().refreshes, 0);
+        // Inside the last tick: refresh must fire.
+        llc.maintain(retention - tick / 2);
+        assert_eq!(llc.stats().refreshes, 1);
+        assert_eq!(llc.stats().lr_expirations, 0);
+        assert!(llc.lr_contains(addr(1)), "refreshed line stays resident");
+    }
+
+    #[test]
+    fn refresh_resets_the_retention_clock() {
+        let mut llc = small();
+        llc.fill(addr(1), true, 0);
+        let retention = llc.config().lr_retention.as_nanos_u64();
+        let tick = llc.maintenance_interval_ns();
+        llc.maintain(retention - tick / 2);
+        assert_eq!(llc.stats().refreshes, 1);
+        // Shortly after, no second refresh is due.
+        llc.maintain(retention);
+        assert_eq!(llc.stats().refreshes, 1);
+    }
+
+    #[test]
+    fn hr_lines_expire_instead_of_refreshing() {
+        let mut llc = small();
+        llc.fill(addr(1), false, 0); // HR, clean
+        let hr_ret = llc.config().hr_retention.as_nanos_u64();
+        llc.maintain(hr_ret);
+        assert!(!llc.hr_contains(addr(1)), "expired HR line invalidated");
+        assert_eq!(llc.stats().hr_expirations, 1);
+        assert_eq!(llc.stats().writebacks, 0, "clean expiry costs nothing");
+    }
+
+    #[test]
+    fn dirty_hr_expiry_writes_back() {
+        let cfg = TwoPartConfig::new(8, 2, 56, 7, 256).with_write_threshold(15);
+        let mut llc = TwoPartLlc::new(cfg);
+        llc.fill(addr(1), true, 0); // dirty, stays in HR at TH=15
+        assert!(llc.hr_contains(addr(1)));
+        let hr_ret = llc.config().hr_retention.as_nanos_u64();
+        llc.maintain(hr_ret);
+        assert_eq!(llc.stats().hr_expirations, 1);
+        assert_eq!(llc.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn rewrite_intervals_recorded() {
+        let mut llc = small();
+        llc.fill(addr(1), true, 10);
+        llc.probe(addr(1), AccessKind::Write, 510); // interval 500 ns
+        llc.probe(addr(1), AccessKind::Write, 600_000); // ~0.6 ms later
+        let h = llc.lr_rewrite_intervals();
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.counts()[0], 1, "500 ns lands in the <=1 us bucket");
+    }
+
+    #[test]
+    fn energy_grows_with_activity_and_leakage_set() {
+        let mut llc = small();
+        assert!(llc.energy().leakage_mw() > 0.0);
+        let e0 = llc.energy().dynamic_nj();
+        llc.fill(addr(1), true, 0);
+        llc.probe(addr(1), AccessKind::Write, 100);
+        assert!(llc.energy().dynamic_nj() > e0);
+    }
+
+    #[test]
+    fn summary_aggregates_parts() {
+        let mut llc = small();
+        llc.fill(addr(1), false, 0);
+        llc.fill(addr(2), true, 0);
+        llc.probe(addr(1), AccessKind::Read, 10); // HR read hit
+        llc.probe(addr(2), AccessKind::Read, 20); // LR read hit
+        llc.probe(addr(3), AccessKind::Read, 30); // miss
+        let s = llc.summary();
+        assert_eq!(s.read_hits, 2);
+        assert_eq!(s.read_misses, 1);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_measurement_preserves_contents() {
+        let mut llc = small();
+        llc.fill(addr(1), true, 0);
+        llc.probe(addr(1), AccessKind::Write, 10);
+        llc.reset_measurement();
+        assert_eq!(llc.stats().demand_writes(), 0);
+        assert_eq!(llc.energy().dynamic_nj(), 0.0);
+        assert!(llc.lr_contains(addr(1)), "contents survive");
+    }
+
+    #[test]
+    fn write_count_matrix_concatenates_parts() {
+        let llc = small();
+        let m = llc.write_count_matrix();
+        let lr_sets = llc.config().lr_sets() as usize;
+        let hr_sets = llc.config().hr_sets() as usize;
+        assert_eq!(m.len(), lr_sets + hr_sets);
+        assert_eq!(m[0].len(), 2); // LR ways
+        assert_eq!(m[lr_sets].len(), 7); // HR ways
+    }
+
+    #[test]
+    fn buffer_overflow_forces_writebacks_with_tiny_buffers() {
+        let cfg = TwoPartConfig::new(8, 2, 56, 7, 256).with_buffer_blocks(1);
+        let mut llc = TwoPartLlc::new(cfg);
+        // Hammer one LR set with dirty fills so demotions pile into the
+        // 1-slot LR→HR buffer.
+        for i in 0..32u64 {
+            llc.fill(addr(i * 16), true, i * 5);
+        }
+        assert!(llc.buffer_overflows() > 0, "1-slot buffer must overflow");
+        assert_eq!(
+            llc.stats().overflow_writebacks + llc.stats().demotions_to_hr,
+            llc.stats().demotions_to_hr + llc.stats().overflow_writebacks,
+        );
+        assert!(llc.stats().overflow_writebacks > 0);
+    }
+
+    #[test]
+    fn wear_rotation_drains_lr_and_remaps() {
+        let cfg = TwoPartConfig::new(8, 2, 56, 7, 256).with_lr_rotation_ms(1.0);
+        let mut llc = TwoPartLlc::new(cfg);
+        llc.fill(addr(1), true, 0);
+        llc.fill(addr(2), true, 0);
+        assert!(llc.lr_contains(addr(1)));
+        // Cross the first rotation epoch.
+        llc.maintain(1_000_000);
+        assert_eq!(llc.stats().lr_rotations, 1);
+        assert!(!llc.lr_contains(addr(1)), "rotation drains the LR");
+        assert!(llc.hr_contains(addr(1)), "drained blocks land in HR");
+        assert!(llc.hr_contains(addr(2)));
+        // The next write re-populates LR under the new mapping.
+        llc.probe(addr(1), AccessKind::Write, 1_100_000);
+        assert!(llc.lr_contains(addr(1)));
+    }
+
+    #[test]
+    fn rotation_levels_physical_set_wear() {
+        // Hammer one block; without rotation all its writes land in one
+        // physical set, with rotation they spread.
+        let hot = addr(5);
+        let writes_per_epoch = 50u64;
+        let epochs = 8u64;
+
+        let run = |rotate: bool| -> f64 {
+            let base = TwoPartConfig::new(8, 2, 56, 7, 256);
+            let cfg = if rotate { base.with_lr_rotation_ms(0.1) } else { base };
+            let mut llc = TwoPartLlc::new(cfg);
+            llc.fill(hot, true, 0);
+            let mut now = 1_000u64;
+            for _ in 0..epochs {
+                for _ in 0..writes_per_epoch {
+                    now += 200;
+                    if !llc.probe(hot, AccessKind::Write, now).hit {
+                        llc.fill(hot, true, now);
+                    }
+                }
+                now += 100_000; // cross a rotation epoch
+                llc.maintain(now);
+            }
+            let lr_sets = llc.config().lr_sets() as usize;
+            let matrix = &llc.write_count_matrix()[..lr_sets];
+            sttgpu_device::endurance::LifetimeEstimate::from_write_matrix(matrix, now)
+                .leveling_headroom()
+        };
+
+        let plain = run(false);
+        let rotated = run(true);
+        assert!(
+            rotated > plain * 1.5,
+            "rotation must improve leveling: plain {plain:.4}, rotated {rotated:.4}"
+        );
+    }
+
+    #[test]
+    fn wws_stats_exposed() {
+        let mut llc = small();
+        llc.fill(addr(1), false, 0);
+        llc.probe(addr(1), AccessKind::Write, 100);
+        assert_eq!(llc.stats().migrations_to_lr, 1);
+        assert_eq!(llc.stats().demand_writes_lr, 1);
+        assert!((llc.stats().lr_write_utilization() - 1.0).abs() < 1e-12);
+    }
+}

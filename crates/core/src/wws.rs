@@ -1,0 +1,144 @@
+//! Write-working-set (WWS) monitoring.
+//!
+//! The paper's "monitoring logic determines write-intensive data blocks
+//! forming [the] temporal WWS of the running applications" via a saturating
+//! write counter (WC) per HR line. Its key observation is that a threshold
+//! of **1** already maximises LR utilisation without noticeable write
+//! overhead — at which point the WC degenerates to the cache's existing
+//! modified bit and the monitor costs nothing ("our WWS monitor logic will
+//! be fast with no overhead").
+//!
+//! [`WwsMonitor`] keeps the threshold configurable so Fig. 4's sweep over
+//! TH ∈ {1, 3, 7, 15} can be reproduced.
+
+use sttgpu_stats::Counter;
+
+/// Decides when an HR-resident block has proven write-intensive enough to
+/// migrate into the LR part.
+///
+/// # Example
+///
+/// ```
+/// use sttgpu_core::WwsMonitor;
+///
+/// let mut th1 = WwsMonitor::new(1);
+/// assert!(th1.should_migrate(1), "first write migrates at TH=1");
+///
+/// let mut th3 = WwsMonitor::new(3);
+/// assert!(!th3.should_migrate(2));
+/// assert!(th3.should_migrate(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WwsMonitor {
+    threshold: u32,
+    migrations: Counter,
+    observations: Counter,
+}
+
+impl WwsMonitor {
+    /// Creates a monitor with the given HR write threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero (a block must be written at least
+    /// once to join the WWS).
+    pub fn new(threshold: u32) -> Self {
+        assert!(threshold >= 1, "write threshold must be at least 1");
+        WwsMonitor {
+            threshold,
+            migrations: Counter::new(),
+            observations: Counter::new(),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Whether the monitor is equivalent to reusing the modified bit
+    /// (threshold 1 — the paper's zero-overhead configuration).
+    pub fn is_modified_bit_equivalent(&self) -> bool {
+        self.threshold == 1
+    }
+
+    /// Observes a block's (post-write) write count and decides whether it
+    /// should migrate to LR now.
+    pub fn should_migrate(&mut self, write_count: u32) -> bool {
+        self.observations.inc();
+        let migrate = write_count >= self.threshold;
+        if migrate {
+            self.migrations.inc();
+        }
+        migrate
+    }
+
+    /// Number of migrate decisions taken.
+    pub fn migrations(&self) -> u64 {
+        self.migrations.get()
+    }
+
+    /// Number of write observations made.
+    pub fn observations(&self) -> u64 {
+        self.observations.get()
+    }
+
+    /// Fraction of observed writes that triggered migration.
+    pub fn migration_rate(&self) -> f64 {
+        self.migrations.ratio_of(self.observations)
+    }
+
+    /// Resets the monitor's statistics (not its threshold).
+    pub fn reset_stats(&mut self) {
+        self.migrations.reset();
+        self.observations.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_one_is_modified_bit() {
+        assert!(WwsMonitor::new(1).is_modified_bit_equivalent());
+        assert!(!WwsMonitor::new(3).is_modified_bit_equivalent());
+    }
+
+    #[test]
+    fn decision_boundary() {
+        let mut m = WwsMonitor::new(7);
+        for c in 1..7 {
+            assert!(!m.should_migrate(c), "count {c} below threshold");
+        }
+        assert!(m.should_migrate(7));
+        assert!(m.should_migrate(8));
+    }
+
+    #[test]
+    fn statistics_track_decisions() {
+        let mut m = WwsMonitor::new(3);
+        m.should_migrate(1);
+        m.should_migrate(3);
+        m.should_migrate(5);
+        assert_eq!(m.observations(), 3);
+        assert_eq!(m.migrations(), 2);
+        assert!((m.migration_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_keeps_threshold() {
+        let mut m = WwsMonitor::new(15);
+        m.should_migrate(20);
+        m.reset_stats();
+        assert_eq!(m.threshold(), 15);
+        assert_eq!(m.observations(), 0);
+        assert_eq!(m.migrations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_threshold() {
+        WwsMonitor::new(0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Model-based testing: an independent, timing-free reference
+//! implementation of the two-part placement/migration policy, replayed
+//! against [`TwoPartLlc`] on random traces. The production model carries
+//! timing, energy, buffers and refresh; the *functional* content —
+//! which part a block resides in, hit/miss outcomes, migration decisions —
+//! must match this ~100-line reference exactly (modulo the swap-buffer
+//! overflow fallback, which the reference reproduces by observing the
+//! production buffers' admission behaviour; tests therefore use traces
+//! slow enough that buffers never overflow).
+
+use proptest::prelude::*;
+use sttgpu_cache::AccessKind;
+use sttgpu_core::{LlcModel, TwoPartConfig, TwoPartLlc};
+
+/// One set of a reference LRU cache: most-recent at the back.
+type RefSet = Vec<u64>;
+
+/// A timing-free reference of the two-part policy at write threshold 1.
+struct RefTwoPart {
+    lr: Vec<RefSet>,
+    hr: Vec<RefSet>,
+    lr_ways: usize,
+    hr_ways: usize,
+}
+
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum RefPlace {
+    Lr,
+    Hr,
+    Absent,
+}
+
+impl RefTwoPart {
+    fn new(cfg: &TwoPartConfig) -> Self {
+        RefTwoPart {
+            lr: vec![Vec::new(); cfg.lr_sets() as usize],
+            hr: vec![Vec::new(); cfg.hr_sets() as usize],
+            lr_ways: cfg.lr_ways as usize,
+            hr_ways: cfg.hr_ways as usize,
+        }
+    }
+
+    fn place_of(&self, line: u64) -> RefPlace {
+        let lr_set = (line % self.lr.len() as u64) as usize;
+        if self.lr[lr_set].contains(&line) {
+            return RefPlace::Lr;
+        }
+        let hr_set = (line % self.hr.len() as u64) as usize;
+        if self.hr[hr_set].contains(&line) {
+            return RefPlace::Hr;
+        }
+        RefPlace::Absent
+    }
+
+    fn touch(set: &mut RefSet, line: u64) {
+        if let Some(i) = set.iter().position(|&l| l == line) {
+            set.remove(i);
+        }
+        set.push(line);
+    }
+
+    /// Inserts into LR, demoting an LRU victim to HR when full.
+    fn insert_lr(&mut self, line: u64) {
+        let set_idx = (line % self.lr.len() as u64) as usize;
+        let lr_ways = self.lr_ways;
+        let set = &mut self.lr[set_idx];
+        Self::touch(set, line);
+        if set.len() > lr_ways {
+            let victim = set.remove(0);
+            self.insert_hr(victim);
+        }
+    }
+
+    /// Inserts into HR, dropping the LRU victim (write-back is timing).
+    fn insert_hr(&mut self, line: u64) {
+        let set_idx = (line % self.hr.len() as u64) as usize;
+        let hr_ways = self.hr_ways;
+        let set = &mut self.hr[set_idx];
+        Self::touch(set, line);
+        if set.len() > hr_ways {
+            set.remove(0);
+        }
+    }
+
+    fn remove_hr(&mut self, line: u64) {
+        let set_idx = (line % self.hr.len() as u64) as usize;
+        self.hr[set_idx].retain(|&l| l != line);
+    }
+
+    /// Replays one probe; returns whether it hit.
+    fn probe(&mut self, line: u64, kind: AccessKind) -> bool {
+        match (self.place_of(line), kind) {
+            (RefPlace::Lr, _) => {
+                let set_idx = (line % self.lr.len() as u64) as usize;
+                Self::touch(&mut self.lr[set_idx], line);
+                true
+            }
+            (RefPlace::Hr, AccessKind::Read) => {
+                let set_idx = (line % self.hr.len() as u64) as usize;
+                Self::touch(&mut self.hr[set_idx], line);
+                true
+            }
+            (RefPlace::Hr, AccessKind::Write) => {
+                // Threshold 1: the first write migrates HR -> LR.
+                self.remove_hr(line);
+                self.insert_lr(line);
+                true
+            }
+            (RefPlace::Absent, _) => false,
+        }
+    }
+
+    /// Replays a fill (dirty fills land in LR at threshold 1).
+    fn fill(&mut self, line: u64, dirty: bool) {
+        if dirty {
+            self.insert_lr(line);
+        } else {
+            self.insert_hr(line);
+        }
+    }
+}
+
+fn cfg() -> TwoPartConfig {
+    // Generous buffers so the overflow fallback never triggers and the
+    // reference semantics apply exactly.
+    TwoPartConfig::new(8, 2, 56, 7, 256).with_buffer_blocks(10_000)
+}
+
+proptest! {
+    /// Production and reference agree on every hit/miss outcome and every
+    /// block's final residency.
+    #[test]
+    fn production_matches_reference(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..300), 1..600)
+    ) {
+        let config = cfg();
+        let mut prod = TwoPartLlc::new(config.clone());
+        let mut reference = RefTwoPart::new(&config);
+        let mut now = 1u64;
+        for &(is_write, line) in &ops {
+            now += 50;
+            let addr = line * 256;
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let prod_hit = prod.probe(addr, kind, now).hit;
+            let ref_hit = reference.probe(line, kind);
+            prop_assert_eq!(prod_hit, ref_hit, "hit mismatch on line {}", line);
+            if !prod_hit {
+                now += 10;
+                prod.fill(addr, is_write, now);
+                reference.fill(line, is_write);
+            }
+        }
+        // Final residency must agree block by block.
+        for line in 0..300u64 {
+            let addr = line * 256;
+            let prod_place = if prod.lr_contains(addr) {
+                RefPlace::Lr
+            } else if prod.hr_contains(addr) {
+                RefPlace::Hr
+            } else {
+                RefPlace::Absent
+            };
+            prop_assert_eq!(prod_place, reference.place_of(line), "line {}", line);
+        }
+    }
+
+    /// Under read-only traffic the LR part stays empty and the production
+    /// model degenerates to a plain HR cache.
+    #[test]
+    fn read_only_traffic_never_populates_lr(
+        lines in proptest::collection::vec(0u64..500, 1..300)
+    ) {
+        let mut prod = TwoPartLlc::new(cfg());
+        let mut now = 1u64;
+        for &line in &lines {
+            now += 50;
+            let addr = line * 256;
+            if !prod.probe(addr, AccessKind::Read, now).hit {
+                prod.fill(addr, false, now + 10);
+            }
+            prop_assert!(!prod.lr_contains(addr), "read-only block entered LR");
+        }
+        prop_assert_eq!(prod.stats().migrations_to_lr, 0);
+        prop_assert_eq!(prod.stats().fills_to_lr, 0);
+    }
+}

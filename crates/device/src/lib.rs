@@ -1,0 +1,52 @@
+//! Device models for the `sttgpu` stack: STT-RAM (MTJ) cells, SRAM cells and
+//! a "CACTI-lite" analytical array model.
+//!
+//! The DAC 2014 paper sizes and prices its caches with CACTI 6.5 (modified
+//! for STT-RAM) and takes its MTJ retention/latency/energy trade-off from
+//! Smullen et al. (HPCA 2011) and Sun et al. (MICRO 2012). Neither tool is
+//! available here, so this crate implements the published analytical models
+//! directly:
+//!
+//! * [`mtj`] — thermal-stability factor Δ vs. retention time
+//!   (τ = τ₀·e^Δ with τ₀ = 1 ns) and the affine write-latency/energy scaling
+//!   with Δ that underlies the paper's Table 1;
+//! * [`cell`] — SRAM vs. STT-RAM cell footprints (STT ≈ 4× denser) and
+//!   leakage (STT ≈ zero cell leakage, periphery only);
+//! * [`mod@array`] — an analytical SRAM/STT array model giving area, access
+//!   latency, per-access energy and leakage as a function of capacity,
+//!   associativity and banking;
+//! * [`endurance`] — write-endurance lifetime estimation from per-line
+//!   write matrices (the concern behind the paper's i2WAP-style Fig. 3
+//!   metrics);
+//! * [`energy`] — an event-based energy account used by the simulator to
+//!   integrate dynamic energy and leakage into the Fig. 8b/8c power numbers;
+//! * [`table1`] — regenerates the paper's Table 1 rows from the MTJ model.
+//!
+//! # Example
+//!
+//! ```
+//! use sttgpu_device::mtj::{MtjDesign, RetentionTime};
+//!
+//! // The paper's high-retention (10-year) cell lands at the Δ ≈ 40.3 the
+//! // literature reports, and a millisecond-class cell writes much faster.
+//! let hi = MtjDesign::for_retention(RetentionTime::from_years(10.0));
+//! let lo = MtjDesign::for_retention(RetentionTime::from_millis(1.0));
+//! assert!((hi.delta().get() - 40.3).abs() < 0.2);
+//! assert!(lo.write_latency_ns() < 0.5 * hi.write_latency_ns());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod cell;
+pub mod endurance;
+pub mod energy;
+pub mod mtj;
+pub mod table1;
+
+pub use array::{ArrayDesign, ArrayGeometry};
+pub use cell::MemTechnology;
+pub use endurance::LifetimeEstimate;
+pub use energy::{EnergyAccount, EnergyEvent};
+pub use mtj::{Delta, MtjDesign, RetentionTime};

@@ -1,0 +1,137 @@
+//! Regenerates the paper's **Table 1**: STT-RAM parameters for different
+//! data retention times.
+//!
+//! Each row is a design point of the MTJ model: the magnetisation stability
+//! height Δ, its retention time, the write latency and write energy that
+//! follow, and the refresh scheme required. The paper's table spans a
+//! years-scale non-volatile cell down to the µs-scale cell used for the LR
+//! partition.
+
+use crate::mtj::{MtjDesign, RetentionTime};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Descriptive label of the design point.
+    pub label: &'static str,
+    /// Thermal stability factor Δ.
+    pub delta: f64,
+    /// Retention time (pretty-printed via `Display`).
+    pub retention: RetentionTime,
+    /// Write pulse latency, ns.
+    pub write_latency_ns: f64,
+    /// Write energy per line, nJ.
+    pub write_energy_nj: f64,
+    /// Refresh scheme required at this retention.
+    pub refreshing: &'static str,
+}
+
+/// The retention design points reported in Table 1, from the fully
+/// non-volatile cell down to the aggressive low-retention cell. The two
+/// bottom rows are the ones the proposed L2 uses for its HR and LR parts.
+pub fn rows() -> Vec<Table1Row> {
+    let points: [(&'static str, RetentionTime, &'static str); 4] = [
+        ("non-volatile", RetentionTime::from_years(10.0), "none"),
+        ("annual", RetentionTime::from_years(1.0), "none"),
+        (
+            "HR part",
+            RetentionTime::from_millis(4.0),
+            "per-block (2-bit RC)",
+        ),
+        (
+            "LR part",
+            RetentionTime::from_micros(26.5),
+            "per-block (4-bit RC)",
+        ),
+    ];
+    points
+        .into_iter()
+        .map(|(label, retention, refreshing)| {
+            let m = MtjDesign::for_retention(retention);
+            Table1Row {
+                label,
+                delta: m.delta().get(),
+                retention,
+                write_latency_ns: m.write_latency_ns(),
+                write_energy_nj: m.write_energy_nj(),
+                refreshing,
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1 as an aligned text table.
+///
+/// # Example
+///
+/// ```
+/// let t = sttgpu_device::table1::render();
+/// assert!(t.contains("10.0 years"));
+/// assert!(t.contains("LR part"));
+/// ```
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: STT-RAM parameters for different data retention times\n");
+    out.push_str(&format!(
+        "{:<14} {:>6} {:>12} {:>10} {:>10}  {}\n",
+        "design", "delta", "R.T", "W.L(ns)", "W.E(nJ)", "refreshing"
+    ));
+    for r in rows() {
+        out.push_str(&format!(
+            "{:<14} {:>6.1} {:>12} {:>10.2} {:>10.3}  {}\n",
+            r.label,
+            r.delta,
+            r.retention.to_string(),
+            r.write_latency_ns,
+            r.write_energy_nj,
+            r.refreshing
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_design_points() {
+        assert_eq!(rows().len(), 4);
+    }
+
+    #[test]
+    fn monotone_trends_down_the_table() {
+        let rs = rows();
+        for w in rs.windows(2) {
+            assert!(w[0].delta > w[1].delta, "delta must decrease");
+            assert!(
+                w[0].retention.as_nanos() > w[1].retention.as_nanos(),
+                "retention must decrease"
+            );
+            assert!(
+                w[0].write_latency_ns > w[1].write_latency_ns,
+                "write latency must decrease"
+            );
+            assert!(
+                w[0].write_energy_nj > w[1].write_energy_nj,
+                "write energy must decrease"
+            );
+        }
+    }
+
+    #[test]
+    fn only_volatile_rows_refresh() {
+        for r in rows() {
+            let needs = MtjDesign::for_retention(r.retention).needs_refresh();
+            assert_eq!(needs, r.refreshing != "none", "row {}", r.label);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let t = render();
+        for r in rows() {
+            assert!(t.contains(r.label), "missing {}", r.label);
+        }
+    }
+}

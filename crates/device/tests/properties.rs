@@ -1,0 +1,90 @@
+//! Property-based tests for the device models.
+
+use proptest::prelude::*;
+use sttgpu_device::array::{
+    sram_equivalent_bytes, stt_capacity_for_sram_area, ArrayDesign, ArrayGeometry,
+};
+use sttgpu_device::cell::MemTechnology;
+use sttgpu_device::mtj::{Delta, MtjDesign, RetentionTime, MAX_DELTA, MIN_DELTA};
+
+proptest! {
+    /// Retention is strictly monotone in Δ.
+    #[test]
+    fn retention_monotone_in_delta(a in MIN_DELTA..MAX_DELTA, b in MIN_DELTA..MAX_DELTA) {
+        prop_assume!(a < b);
+        let ra = MtjDesign::new(Delta::new(a)).retention().as_nanos();
+        let rb = MtjDesign::new(Delta::new(b)).retention().as_nanos();
+        prop_assert!(ra < rb);
+    }
+
+    /// Write latency and energy are strictly monotone in Δ and positive.
+    #[test]
+    fn write_cost_monotone_in_delta(a in MIN_DELTA..MAX_DELTA, b in MIN_DELTA..MAX_DELTA) {
+        prop_assume!(a < b);
+        let ma = MtjDesign::new(Delta::new(a));
+        let mb = MtjDesign::new(Delta::new(b));
+        prop_assert!(ma.write_latency_ns() > 0.0);
+        prop_assert!(ma.write_energy_nj() > 0.0);
+        prop_assert!(ma.write_latency_ns() < mb.write_latency_ns());
+        prop_assert!(ma.write_energy_nj() < mb.write_energy_nj());
+    }
+
+    /// `for_retention` inverts `retention()` within floating-point slack.
+    #[test]
+    fn retention_inversion(ns in 200.0f64..1e18) {
+        let m = MtjDesign::for_retention(RetentionTime::from_nanos(ns));
+        let back = m.retention().as_nanos();
+        prop_assert!((back / ns - 1.0).abs() < 1e-9);
+    }
+
+    /// Array area, latency, energy and leakage are positive and grow with
+    /// capacity (same tech, same banking).
+    #[test]
+    fn array_costs_grow_with_capacity(kb_half in 32u64..256, factor in 2u64..8) {
+        let kb_small = kb_half * 2; // whole 8-way sets of 256 B lines need even KB
+        let tech = MemTechnology::Sram;
+        let small = ArrayDesign::new(ArrayGeometry::new(kb_small * 1024, 256, 8, 4), tech);
+        let big = ArrayDesign::new(ArrayGeometry::new(kb_small * factor * 1024, 256, 8, 4), tech);
+        prop_assert!(small.area_mm2() > 0.0);
+        prop_assert!(big.area_mm2() > small.area_mm2());
+        prop_assert!(big.read_latency_ns() > small.read_latency_ns());
+        prop_assert!(big.read_energy_nj() > small.read_energy_nj());
+        prop_assert!(big.leakage_mw() > small.leakage_mw());
+    }
+
+    /// More banks never make a bank slower (smaller banks are faster).
+    #[test]
+    fn banking_helps_latency(banks_a in 1u32..8, banks_b in 1u32..8) {
+        prop_assume!(banks_a < banks_b);
+        let tech = MemTechnology::Sram;
+        let a = ArrayDesign::new(ArrayGeometry::new(1024 * 1024, 256, 8, banks_a), tech);
+        let b = ArrayDesign::new(ArrayGeometry::new(1024 * 1024, 256, 8, banks_b), tech);
+        prop_assert!(b.read_latency_ns() <= a.read_latency_ns());
+    }
+
+    /// Area-capacity conversion round-trips within rounding.
+    #[test]
+    fn area_conversion_roundtrip(kb in 16u64..4096) {
+        let stt = MemTechnology::stt_for_retention(RetentionTime::from_years(10.0));
+        let bytes = kb * 1024;
+        let cap = stt_capacity_for_sram_area(bytes, &stt);
+        let back = sram_equivalent_bytes(cap, &stt);
+        prop_assert!((back as i64 - bytes as i64).abs() <= 1);
+    }
+
+    /// STT-RAM of 4x the capacity never exceeds the SRAM area by more than
+    /// the tag overhead (25 %).
+    #[test]
+    fn four_x_density_holds(kb_half in 32u64..512) {
+        let kb = kb_half * 2;
+        let sram = ArrayDesign::new(
+            ArrayGeometry::new(kb * 1024, 256, 8, 4),
+            MemTechnology::Sram,
+        );
+        let stt = ArrayDesign::new(
+            ArrayGeometry::new(4 * kb * 1024, 256, 8, 4),
+            MemTechnology::stt_for_retention(RetentionTime::from_years(10.0)),
+        );
+        prop_assert!(stt.area_mm2() <= 1.25 * sram.area_mm2());
+    }
+}

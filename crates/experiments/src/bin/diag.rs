@@ -1,0 +1,71 @@
+//! Developer diagnostic: per-workload, per-config dump of the raw
+//! quantities behind Fig. 8 (not a paper artefact).
+
+use sttgpu_experiments::configs::L2Choice;
+use sttgpu_experiments::runner::{run, RunPlan};
+use sttgpu_workloads::suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: f64 = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1);
+    let names: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && a.parse::<f64>().is_err())
+        .cloned()
+        .collect();
+    let names = if names.is_empty() {
+        suite::names()
+    } else {
+        names
+    };
+    let plan = RunPlan {
+        scale,
+        max_cycles: 6_000_000,
+    };
+    for name in names {
+        let w = suite::by_name(&name).expect("workload");
+        println!("== {name} (scale {scale}) ==");
+        for choice in L2Choice::ALL {
+            let out = run(choice, &w, &plan);
+            let m = &out.metrics;
+            print!(
+                "  {:<9} ipc {:7.2} cyc {:>9} fin {} l2hit {:.3} acc {:>8} dramR {:>7} dramW {:>6} dynP {:8.2}mW totP {:8.2}mW",
+                choice.label(),
+                m.ipc(),
+                m.cycles,
+                m.finished as u8,
+                m.l2.hit_rate(),
+                m.l2.accesses(),
+                m.dram_reads,
+                m.dram_writes,
+                m.l2_dynamic_power_mw(),
+                m.l2_total_power_mw(),
+            );
+            print!(
+                " l1hit {:.3} mshrStall {} idle {} rdLat {:.1}ns",
+                m.l1_hit_rate(),
+                m.mshr_stalls,
+                m.sm_idle_cycles,
+                m.l2_read_hit_latency_ns
+            );
+            if let Some(tp) = &out.two_part {
+                print!(
+                    " | lrW {} hrW {} mig {} dem {} rfr {} hrExp {} ovf {}",
+                    tp.demand_writes_lr,
+                    tp.demand_writes_hr,
+                    tp.migrations_to_lr,
+                    tp.demotions_to_hr,
+                    tp.refreshes,
+                    tp.hr_expirations,
+                    tp.overflow_writebacks
+                );
+            }
+            println!();
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all               # everything, reference scale
+//! repro fig8              # one artefact
+//! repro fig8 --scale 0.25 # reduced-scale quick look
+//! repro --quick all       # scale 0.25 everywhere
+//! repro --out results all # also write <artefact>.txt/.csv under results/
+//! ```
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sttgpu_experiments::{
+    ablations, fig3, fig4, fig5, fig6, fig8, table1, table2, workload_table, RunPlan,
+};
+
+const ARTEFACTS: [&str; 9] = [
+    "table1",
+    "table2",
+    "workloads",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "ablations",
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--quick] [--scale F] [--out DIR] <all|{}> ...",
+        ARTEFACTS.join("|")
+    );
+    ExitCode::FAILURE
+}
+
+/// Computes one artefact: the rendered text plus, where meaningful, a CSV.
+fn run_artefact(name: &str, plan: &RunPlan) -> Option<(String, Option<String>)> {
+    let (text, csv) = match name {
+        "table1" => (table1::render(), Some(table1::to_csv())),
+        "table2" => (table2::render(), Some(table2::to_csv())),
+        "workloads" => {
+            let rows = workload_table::compute(plan);
+            (
+                workload_table::render(&rows),
+                Some(workload_table::to_csv(&rows)),
+            )
+        }
+        "fig3" => {
+            let rows = fig3::compute(plan);
+            (fig3::render(&rows), Some(fig3::to_csv(&rows)))
+        }
+        "fig4" => {
+            let rows = fig4::compute(plan);
+            (fig4::render(&rows), Some(fig4::to_csv(&rows)))
+        }
+        "fig5" => {
+            let rows = fig5::compute(plan);
+            (fig5::render(&rows), Some(fig5::to_csv(&rows)))
+        }
+        "fig6" => {
+            let rows = fig6::compute(plan);
+            (fig6::render(&rows), Some(fig6::to_csv(&rows)))
+        }
+        "fig8" => {
+            let (rows, summary) = fig8::compute(plan);
+            (fig8::render(&rows, &summary), Some(fig8::to_csv(&rows)))
+        }
+        "ablations" => (ablations::render(plan), None),
+        _ => return None,
+    };
+    Some((text, csv))
+}
+
+fn main() -> ExitCode {
+    let mut plan = RunPlan::full();
+    let mut targets: Vec<String> = Vec::new();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => plan = RunPlan::quick(),
+            "--scale" => {
+                let Some(v) = args.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                if v <= 0.0 {
+                    return usage();
+                }
+                plan = plan.with_scale(v);
+            }
+            "--out" => {
+                let Some(dir) = args.next() else {
+                    return usage();
+                };
+                out_dir = Some(PathBuf::from(dir));
+            }
+            "-h" | "--help" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_owned()),
+        }
+    }
+    if targets.is_empty() {
+        return usage();
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = ARTEFACTS.iter().map(|s| s.to_string()).collect();
+    }
+    eprintln!(
+        "# repro: scale={} max_cycles={} artefacts={:?}",
+        plan.scale, plan.max_cycles, targets
+    );
+    if let Some(dir) = &out_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for t in &targets {
+        let started = std::time::Instant::now();
+        let Some((text, csv)) = run_artefact(t, &plan) else {
+            eprintln!("unknown artefact: {t}");
+            return usage();
+        };
+        println!("{text}");
+        if let Some(dir) = &out_dir {
+            if let Err(e) = fs::write(dir.join(format!("{t}.txt")), &text) {
+                eprintln!("cannot write {t}.txt: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Some(csv) = csv {
+                if let Err(e) = fs::write(dir.join(format!("{t}.csv")), csv) {
+                    eprintln!("cannot write {t}.csv: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        eprintln!("# {t} done in {:.1}s", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

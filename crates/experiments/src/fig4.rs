@@ -1,0 +1,150 @@
+//! Fig. 4: HR write-threshold analysis.
+//!
+//! Sweeps the WWS-monitor threshold TH ∈ {1, 3, 7, 15} on the C1 geometry
+//! and reports, per workload, (a) the LR/HR demand-write ratio and (b) the
+//! total physical write count, both normalised to TH = 1. The paper's
+//! conclusion — reproduced here — is that TH = 1 maximises LR utilisation
+//! while higher thresholds only push writes into the expensive HR array.
+
+use sttgpu_workloads::suite;
+
+use crate::configs::{gpu_config, L2Choice};
+use crate::report;
+use crate::runner::{run_config, RunPlan};
+use sttgpu_core::TwoPartConfig;
+use sttgpu_sim::L2ModelConfig;
+
+/// The thresholds Fig. 4 sweeps.
+pub const THRESHOLDS: [u32; 4] = [1, 3, 7, 15];
+
+/// Results of one workload across the threshold sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Row {
+    /// Workload name.
+    pub workload: String,
+    /// LR/HR demand-write ratio normalised to TH1, indexed like
+    /// [`THRESHOLDS`].
+    pub lr_hr_ratio_norm: [f64; 4],
+    /// Total physical array writes normalised to TH1.
+    pub write_overhead_norm: [f64; 4],
+}
+
+fn c1_with_threshold(th: u32) -> sttgpu_sim::GpuConfig {
+    let mut cfg = gpu_config(L2Choice::TwoPartC1);
+    let tp = match &cfg.l2 {
+        L2ModelConfig::TwoPart(tp) => tp.clone(),
+        _ => unreachable!("C1 is two-part"),
+    };
+    cfg.l2 = L2ModelConfig::TwoPart(TwoPartConfig::with_write_threshold(tp, th));
+    cfg
+}
+
+/// Runs the sweep for the whole suite.
+pub fn compute(plan: &RunPlan) -> Vec<Fig4Row> {
+    suite::all()
+        .iter()
+        .map(|w| {
+            let mut ratios = [0.0f64; 4];
+            let mut writes = [0.0f64; 4];
+            for (i, &th) in THRESHOLDS.iter().enumerate() {
+                let out = run_config(c1_with_threshold(th), w, plan);
+                let tp = out.two_part.expect("C1 is two-part");
+                ratios[i] = tp.lr_to_hr_write_ratio();
+                writes[i] = tp.total_array_writes() as f64;
+            }
+            let base_ratio = if ratios[0] > 0.0 { ratios[0] } else { 1.0 };
+            let base_writes = if writes[0] > 0.0 { writes[0] } else { 1.0 };
+            Fig4Row {
+                workload: w.name.clone(),
+                lr_hr_ratio_norm: ratios.map(|r| r / base_ratio),
+                write_overhead_norm: writes.map(|x| x / base_writes),
+            }
+        })
+        .collect()
+}
+
+/// Renders both panels of the figure.
+pub fn render(rows: &[Fig4Row]) -> String {
+    let mut out = String::from("Fig. 4: HR write-threshold analysis (normalised to TH1)\n\n");
+    for (title, pick) in [
+        (
+            "LR-to-HR write ratio",
+            (|r: &Fig4Row| r.lr_hr_ratio_norm) as fn(&Fig4Row) -> [f64; 4],
+        ),
+        ("total write overhead", |r: &Fig4Row| r.write_overhead_norm),
+    ] {
+        out.push_str(&format!("{title}:\n"));
+        let mut body: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let vals = pick(r);
+                let mut cells = vec![r.workload.clone()];
+                cells.extend(vals.iter().map(|v| report::ratio(*v)));
+                cells
+            })
+            .collect();
+        let mut avg_cells = vec!["AVG".to_owned()];
+        for i in 0..4 {
+            let col: Vec<f64> = rows.iter().map(|r| pick(r)[i]).collect();
+            avg_cells.push(report::ratio(report::gmean(&col)));
+        }
+        body.push(avg_cells);
+        out.push_str(&report::table(
+            &["workload", "TH1", "TH3", "TH7", "TH15"],
+            &body,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the sweep as long-format CSV (one row per workload x TH).
+pub fn to_csv(rows: &[Fig4Row]) -> String {
+    let mut body = Vec::new();
+    for r in rows {
+        for (i, &th) in THRESHOLDS.iter().enumerate() {
+            body.push(vec![
+                r.workload.clone(),
+                th.to_string(),
+                format!("{:.6}", r.lr_hr_ratio_norm[i]),
+                format!("{:.6}", r.write_overhead_norm[i]),
+            ]);
+        }
+    }
+    report::csv(
+        &[
+            "workload",
+            "threshold",
+            "lr_hr_ratio_norm",
+            "write_overhead_norm",
+        ],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's conclusion: raising the threshold starves the LR part
+    /// (lower LR/HR ratio) while total writes stay roughly flat — so TH1
+    /// wins.
+    #[test]
+    fn threshold_one_maximises_lr_utilisation() {
+        let plan = RunPlan {
+            scale: 0.06,
+            max_cycles: 3_000_000,
+        };
+        // A write-hot subset is enough to check the trend cheaply.
+        let w = suite::by_name("nw").expect("nw");
+        let mut ratios = Vec::new();
+        for th in THRESHOLDS {
+            let out = run_config(c1_with_threshold(th), &w, &plan);
+            ratios.push(out.two_part.expect("two-part").lr_to_hr_write_ratio());
+        }
+        assert!(
+            ratios[0] > ratios[1] && ratios[1] >= ratios[3],
+            "LR/HR ratio must fall with threshold: {ratios:?}"
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Shared run machinery for all figures.
+
+use sttgpu_core::{LlcModel, TwoPartStats};
+use sttgpu_sim::{Gpu, GpuConfig, RunMetrics, Workload};
+use sttgpu_stats::Histogram;
+use sttgpu_workloads::suite;
+
+use crate::configs::{gpu_config, L2Choice};
+
+/// How an experiment run is sized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunPlan {
+    /// Workload scale factor (1.0 = reference scale; benches use less).
+    pub scale: f64,
+    /// Cycle budget per workload run.
+    pub max_cycles: u64,
+}
+
+impl RunPlan {
+    /// The reference plan used for paper-shape reproduction.
+    pub fn full() -> Self {
+        RunPlan {
+            scale: 1.0,
+            max_cycles: 6_000_000,
+        }
+    }
+
+    /// A reduced plan for quick sanity runs and criterion benches.
+    pub fn quick() -> Self {
+        RunPlan {
+            scale: 0.25,
+            max_cycles: 2_000_000,
+        }
+    }
+
+    /// A plan with a custom scale (cycle budget kept from `self`).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0);
+        self.scale = scale;
+        self
+    }
+}
+
+impl Default for RunPlan {
+    fn default() -> Self {
+        RunPlan::full()
+    }
+}
+
+/// Everything captured from one workload × configuration run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Top-level metrics (IPC, L2 stats, energy).
+    pub metrics: RunMetrics,
+    /// Two-part internals when the L2 was a [`TwoPartLlc`]
+    /// (LR/HR hit breakdowns, migrations, refreshes...).
+    ///
+    /// [`TwoPartLlc`]: sttgpu_core::TwoPartLlc
+    pub two_part: Option<TwoPartStats>,
+    /// LR rewrite-interval histogram (two-part runs only).
+    pub lr_rewrite_intervals: Option<Histogram>,
+    /// HR rewrite-interval histogram (two-part runs only).
+    pub hr_rewrite_intervals: Option<Histogram>,
+    /// Cumulative per-(set, way) data-array write counts.
+    pub write_matrix: Vec<Vec<u64>>,
+}
+
+/// Runs `workload` on a fully custom GPU configuration.
+pub fn run_config(cfg: GpuConfig, workload: &Workload, plan: &RunPlan) -> RunOutput {
+    let scaled = if (plan.scale - 1.0).abs() < 1e-9 {
+        workload.clone()
+    } else {
+        suite::scaled(workload, plan.scale)
+    };
+    let mut gpu = Gpu::new(cfg);
+    let metrics = gpu.run_workload(&scaled, plan.max_cycles);
+    let llc = gpu.llc();
+    let (two_part, lr_hist, hr_hist) = match llc.as_two_part() {
+        Some(tp) => (
+            Some(*tp.stats()),
+            Some(tp.lr_rewrite_intervals().clone()),
+            Some(tp.hr_rewrite_intervals().clone()),
+        ),
+        None => (None, None, None),
+    };
+    RunOutput {
+        metrics,
+        two_part,
+        lr_rewrite_intervals: lr_hist,
+        hr_rewrite_intervals: hr_hist,
+        write_matrix: llc.write_count_matrix(),
+    }
+}
+
+/// Runs `workload` on one of the five Table 2 configurations.
+pub fn run(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunOutput {
+    run_config(gpu_config(choice), workload, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> RunPlan {
+        RunPlan {
+            scale: 0.05,
+            max_cycles: 2_000_000,
+        }
+    }
+
+    #[test]
+    fn baseline_run_produces_metrics() {
+        let w = suite::by_name("lud").expect("lud");
+        let out = run(L2Choice::SramBaseline, &w, &tiny_plan());
+        assert!(out.metrics.finished);
+        assert!(out.metrics.ipc() > 0.0);
+        assert!(out.two_part.is_none());
+        assert!(!out.write_matrix.is_empty());
+    }
+
+    #[test]
+    fn two_part_run_captures_internals() {
+        let w = suite::by_name("nw").expect("nw");
+        let out = run(L2Choice::TwoPartC1, &w, &tiny_plan());
+        assert!(out.metrics.finished);
+        let tp = out.two_part.expect("two-part stats");
+        assert!(tp.demand_writes() > 0);
+        assert!(out.lr_rewrite_intervals.is_some());
+    }
+
+    #[test]
+    fn plans_scale_work() {
+        let w = suite::by_name("gaussian").expect("gaussian");
+        let small = run(L2Choice::SramBaseline, &w, &tiny_plan());
+        let smaller = run(
+            L2Choice::SramBaseline,
+            &w,
+            &RunPlan {
+                scale: 0.02,
+                max_cycles: 2_000_000,
+            },
+        );
+        assert!(smaller.metrics.instructions < small.metrics.instructions);
+    }
+}

@@ -1,0 +1,50 @@
+//! Table 1: STT-RAM parameters for different data retention times.
+//!
+//! A thin wrapper over the device model's [`sttgpu_device::table1`]; it
+//! lives here so the `repro` binary exposes every paper artefact from one
+//! place.
+
+pub use sttgpu_device::table1::{rows, Table1Row};
+
+/// Renders Table 1.
+pub fn render() -> String {
+    sttgpu_device::table1::render()
+}
+
+/// Renders Table 1 as CSV.
+pub fn to_csv() -> String {
+    crate::report::csv(
+        &[
+            "design",
+            "delta",
+            "retention_ns",
+            "write_latency_ns",
+            "write_energy_nj",
+            "refreshing",
+        ],
+        &rows()
+            .into_iter()
+            .map(|r| {
+                vec![
+                    r.label.to_owned(),
+                    format!("{:.2}", r.delta),
+                    format!("{:.0}", r.retention.as_nanos()),
+                    format!("{:.3}", r.write_latency_ns),
+                    format!("{:.4}", r.write_energy_nj),
+                    r.refreshing.to_owned(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_rows() {
+        let t = super::render();
+        assert!(t.contains("Table 1"));
+        assert!(t.contains("HR part"));
+        assert!(t.contains("LR part"));
+    }
+}

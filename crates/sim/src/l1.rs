@@ -1,0 +1,267 @@
+//! Per-SM L1 data cache with GPU write semantics.
+//!
+//! Implements the policy of the paper's Fig. 1-b for global data: reads
+//! allocate normally, write hits **evict** the line and forward the write
+//! to L2, write misses forward without allocating. MSHRs merge secondary
+//! misses to in-flight lines.
+
+use sttgpu_cache::{AccessKind, MshrOutcome, MshrTable, ReplacementPolicy, SetAssocCache};
+
+use crate::config::L1Config;
+
+/// Outcome of a read access to the L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1ReadOutcome {
+    /// Data present — no L2 traffic.
+    Hit,
+    /// Miss; a new fill request must be sent to L2.
+    MissIssued,
+    /// Miss on an already in-flight line; the request was merged.
+    MissMerged,
+    /// Miss, but the MSHR table is full — the instruction must replay.
+    MshrFull,
+}
+
+/// A non-coherent GPU L1 data cache.
+///
+/// # Example
+///
+/// ```
+/// use sttgpu_sim::config::L1Config;
+/// use sttgpu_sim::l1::{L1Cache, L1ReadOutcome};
+///
+/// let mut l1 = L1Cache::new(&L1Config::default());
+/// assert_eq!(l1.read(0x1000, 7, 0), L1ReadOutcome::MissIssued);
+/// let (woken, dirty_victim) = l1.fill(0x1000, 100);
+/// assert_eq!(woken, vec![7]);
+/// assert_eq!(dirty_victim, None);
+/// assert_eq!(l1.read(0x1000, 7, 200), L1ReadOutcome::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    cache: SetAssocCache<()>,
+    mshr: MshrTable,
+    line_bytes: u32,
+    write_evictions: u64,
+}
+
+impl L1Cache {
+    /// Builds an L1 from its configuration.
+    pub fn new(cfg: &L1Config) -> Self {
+        let lines = cfg.kb * 1024 / cfg.line_bytes as u64;
+        let sets = (lines / cfg.ways as u64) as usize;
+        L1Cache {
+            cache: SetAssocCache::new(
+                sets,
+                cfg.ways as usize,
+                cfg.line_bytes,
+                ReplacementPolicy::Lru,
+            ),
+            mshr: MshrTable::new(cfg.mshr_entries, cfg.mshr_targets),
+            line_bytes: cfg.line_bytes,
+            write_evictions: 0,
+        }
+    }
+
+    /// L1 line size, bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Line-granular address of a byte address.
+    pub fn line_addr(&self, byte_addr: u64) -> u64 {
+        byte_addr / self.line_bytes as u64
+    }
+
+    /// Issues a read for `byte_addr` on behalf of `warp_token`.
+    pub fn read(&mut self, byte_addr: u64, warp_token: u64, now_ns: u64) -> L1ReadOutcome {
+        let la = self.line_addr(byte_addr);
+        if self.cache.lookup(la, AccessKind::Read, now_ns).is_some() {
+            return L1ReadOutcome::Hit;
+        }
+        match self.mshr.allocate(la, warp_token) {
+            MshrOutcome::Allocated => L1ReadOutcome::MissIssued,
+            MshrOutcome::Merged => L1ReadOutcome::MissMerged,
+            MshrOutcome::Full => L1ReadOutcome::MshrFull,
+        }
+    }
+
+    /// Issues a global write: write-evict on hit, write-no-allocate on
+    /// miss. The write itself always continues to L2 (the caller forwards
+    /// it); this method only maintains L1 state. Returns a dirty (local)
+    /// victim's byte address if the eviction displaced one.
+    pub fn write(&mut self, byte_addr: u64, now_ns: u64) {
+        let la = self.line_addr(byte_addr);
+        if self.cache.lookup(la, AccessKind::Write, now_ns).is_some() {
+            // Write-evict: the (now stale) local copy is dropped. Global
+            // lines are never dirty in L1, so nothing is written back.
+            self.cache.extract(la);
+            self.write_evictions += 1;
+        }
+    }
+
+    /// Issues a **local** (per-thread) write: write-back / write-allocate
+    /// (paper Fig. 1-b). A hit dirties the line in place; a miss allocates
+    /// the line dirty (spill frames are written whole, no fetch needed).
+    /// Returns the byte address of a dirty victim that must be written
+    /// back to L2, if the allocation displaced one.
+    pub fn write_local(&mut self, byte_addr: u64, now_ns: u64) -> Option<u64> {
+        let la = self.line_addr(byte_addr);
+        if self.cache.lookup(la, AccessKind::Write, now_ns).is_some() {
+            return None;
+        }
+        let victim = self.cache.fill(la, true, now_ns);
+        self.victim_of(victim)
+    }
+
+    fn victim_of(&self, victim: Option<sttgpu_cache::Evicted<()>>) -> Option<u64> {
+        victim
+            .filter(|v| v.dirty)
+            .map(|v| v.line_addr * self.line_bytes as u64)
+    }
+
+    /// Completes an in-flight fill: installs the line (clean) and returns
+    /// the warp tokens waiting on it plus the byte address of a dirty
+    /// (local) victim needing write-back, if any.
+    pub fn fill(&mut self, byte_addr: u64, now_ns: u64) -> (Vec<u64>, Option<u64>) {
+        let la = self.line_addr(byte_addr);
+        let evicted = self.cache.fill(la, false, now_ns);
+        let victim = self.victim_of(evicted);
+        (self.mshr.complete(la), victim)
+    }
+
+    /// Read hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.stats().hit_rate()
+    }
+
+    /// (read hits, read misses, writes observed, write-evictions).
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        let s = self.cache.stats();
+        (
+            s.read_hits.get(),
+            s.read_misses.get(),
+            s.writes(),
+            self.write_evictions,
+        )
+    }
+
+    /// Invalidates all contents (kernel boundary), keeping statistics.
+    pub fn invalidate_all(&mut self) {
+        self.cache.flush();
+    }
+
+    /// Resets statistics (not contents).
+    pub fn reset_stats(&mut self) {
+        self.cache.reset_stats();
+        self.write_evictions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> L1Cache {
+        L1Cache::new(&L1Config::default())
+    }
+
+    #[test]
+    fn geometry_from_config() {
+        let c = l1();
+        // 16 KB / 128 B / 4 ways = 32 sets.
+        assert_eq!(c.cache.sets(), 32);
+        assert_eq!(c.line_bytes(), 128);
+    }
+
+    #[test]
+    fn miss_then_merge_then_fill_wakes_all() {
+        let mut c = l1();
+        assert_eq!(c.read(0x100, 1, 0), L1ReadOutcome::MissIssued);
+        assert_eq!(c.read(0x100, 2, 1), L1ReadOutcome::MissMerged);
+        assert_eq!(
+            c.read(0x140, 3, 2),
+            L1ReadOutcome::MissMerged,
+            "same 128B line"
+        );
+        let (woken, victim) = c.fill(0x100, 10);
+        assert_eq!(woken, vec![1, 2, 3]);
+        assert_eq!(victim, None);
+        assert_eq!(c.read(0x100, 4, 20), L1ReadOutcome::Hit);
+    }
+
+    #[test]
+    fn write_evicts_resident_line() {
+        let mut c = l1();
+        c.read(0x100, 1, 0);
+        c.fill(0x100, 5);
+        assert_eq!(c.read(0x100, 1, 10), L1ReadOutcome::Hit);
+        c.write(0x100, 20);
+        assert_eq!(
+            c.read(0x100, 1, 30),
+            L1ReadOutcome::MissIssued,
+            "write-evict removed the line"
+        );
+        assert_eq!(c.counters().3, 1);
+    }
+
+    #[test]
+    fn write_miss_does_not_allocate() {
+        let mut c = l1();
+        c.write(0x200, 0);
+        assert_eq!(c.read(0x200, 1, 10), L1ReadOutcome::MissIssued);
+    }
+
+    #[test]
+    fn mshr_full_reported() {
+        let cfg = L1Config {
+            mshr_entries: 1,
+            ..L1Config::default()
+        };
+        let mut c = L1Cache::new(&cfg);
+        assert_eq!(c.read(0x100, 1, 0), L1ReadOutcome::MissIssued);
+        assert_eq!(c.read(0x900, 2, 1), L1ReadOutcome::MshrFull);
+    }
+
+    #[test]
+    fn invalidate_all_clears_contents() {
+        let mut c = l1();
+        c.read(0x100, 1, 0);
+        c.fill(0x100, 5);
+        c.invalidate_all();
+        assert_eq!(c.read(0x100, 1, 10), L1ReadOutcome::MissIssued);
+    }
+
+    #[test]
+    fn local_write_allocates_dirty_without_fetch() {
+        let mut c = l1();
+        assert_eq!(c.write_local(0x400, 0), None, "empty cache, no victim");
+        // The line is now resident: a read hits without any fill.
+        assert_eq!(c.read(0x400, 1, 10), L1ReadOutcome::Hit);
+    }
+
+    #[test]
+    fn dirty_local_victim_is_reported_for_writeback() {
+        // Direct-mapped-ish pressure: fill one set's 4 ways with dirty
+        // local lines, then displace one with a 5th conflicting line.
+        let mut c = l1();
+        let sets = 32u64;
+        for i in 0..4 {
+            assert_eq!(c.write_local(i * sets * 128, 0), None);
+        }
+        let victim = c.write_local(4 * sets * 128, 10);
+        assert!(victim.is_some(), "displacing a dirty line must report it");
+        assert_eq!(victim.expect("victim") % (sets * 128), 0, "same set");
+    }
+
+    #[test]
+    fn clean_fill_eviction_reports_no_victim() {
+        let mut c = l1();
+        let sets = 32u64;
+        for i in 0..5 {
+            c.read(i * sets * 128, 1, 0);
+            let (_, victim) = c.fill(i * sets * 128, 0);
+            assert_eq!(victim, None, "clean global lines never write back");
+        }
+    }
+}

@@ -1,0 +1,412 @@
+//! The shared memory system: interconnect, L2 (any [`LlcModel`]) and DRAM.
+//!
+//! SMs hand read/write requests to [`MemSystem`]; it carries them over a
+//! fixed-latency interconnect, probes the L2, merges concurrent misses to
+//! the same L2 line, models DRAM bandwidth per memory controller and
+//! delivers L1 fill responses back to the SMs as timed events. It also
+//! drives the L2's maintenance (refresh/expiry) clock.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use sttgpu_cache::{AccessKind, BankArbiter};
+use sttgpu_core::{AnyLlc, LlcModel};
+
+use crate::config::GpuConfig;
+use crate::icnt::Icnt;
+
+/// A timed memory-system event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// DRAM data for an L2 line arrives at the L2.
+    DramData { l2_line: u64 },
+    /// A fill response reaches an SM's L1.
+    L1Fill { sm: u32, byte_addr: u64 },
+}
+
+/// An L2 miss in flight to DRAM, with the L1 requests waiting on it.
+#[derive(Debug, Clone, Default)]
+struct L2Pending {
+    dirty: bool,
+    waiters: Vec<(u32, u64)>,
+}
+
+/// A fill response ready for delivery to an SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillDelivery {
+    /// Destination SM.
+    pub sm: u32,
+    /// Byte address of the L1 line being filled.
+    pub byte_addr: u64,
+}
+
+/// Interconnect + L2 + DRAM.
+#[derive(Debug)]
+pub struct MemSystem {
+    llc: AnyLlc,
+    dram: BankArbiter,
+    events: BinaryHeap<Reverse<(u64, u64, EventKind)>>,
+    seq: u64,
+    l2_pending: HashMap<u64, L2Pending>,
+    icnt: Icnt,
+    dram_row_miss_ns: u64,
+    dram_row_hit_ns: u64,
+    dram_lines_per_row: u64,
+    open_rows: Vec<u64>,
+    dram_service_ns: u64,
+    l2_line_bytes: u64,
+    next_maintain_ns: u64,
+    maintain_interval_ns: u64,
+    /// DRAM read requests issued (L2 fills).
+    pub dram_reads: u64,
+    /// DRAM write requests issued (L2 write-backs).
+    pub dram_writes: u64,
+    /// DRAM read requests that hit their controller's open row.
+    pub dram_row_hits: u64,
+    /// Sum of L2 service times (ready - arrival) over read hits, ns.
+    pub read_hit_latency_sum_ns: u64,
+    /// Number of L2 read hits observed.
+    pub read_hit_count: u64,
+}
+
+impl MemSystem {
+    /// Builds the memory system from the GPU configuration.
+    pub fn new(cfg: &GpuConfig) -> Self {
+        let llc = cfg.l2.build(cfg.l2_line_bytes);
+        let maintain_interval_ns = llc.maintenance_interval_ns();
+        MemSystem {
+            llc,
+            dram: BankArbiter::new(cfg.dram.controllers as usize),
+            events: BinaryHeap::new(),
+            seq: 0,
+            l2_pending: HashMap::new(),
+            icnt: Icnt::new(cfg.num_sms.max(1), cfg.icnt_latency_ns, cfg.icnt_flit_ns),
+            dram_row_miss_ns: cfg.dram.latency_ns,
+            dram_row_hit_ns: cfg.dram.row_hit_latency_ns,
+            dram_lines_per_row: (cfg.dram.row_bytes / cfg.l2_line_bytes as u64).max(1),
+            open_rows: vec![u64::MAX; cfg.dram.controllers as usize],
+            dram_service_ns: cfg.dram.service_ns,
+            l2_line_bytes: cfg.l2_line_bytes as u64,
+            next_maintain_ns: maintain_interval_ns,
+            maintain_interval_ns,
+            dram_reads: 0,
+            dram_writes: 0,
+            dram_row_hits: 0,
+            read_hit_latency_sum_ns: 0,
+            read_hit_count: 0,
+        }
+    }
+
+    /// The L2 under test.
+    pub fn llc(&self) -> &AnyLlc {
+        &self.llc
+    }
+
+    /// Mutable access to the L2 (measurement resets).
+    pub fn llc_mut(&mut self) -> &mut AnyLlc {
+        &mut self.llc
+    }
+
+    fn push_event(&mut self, at_ns: u64, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse((at_ns, self.seq, kind)));
+    }
+
+    fn l2_line_of(&self, byte_addr: u64) -> u64 {
+        byte_addr / self.l2_line_bytes
+    }
+
+    /// Charges DRAM bandwidth for `count` write-backs.
+    fn charge_writebacks(&mut self, count: u32, now_ns: u64) {
+        for _ in 0..count {
+            self.dram_writes += 1;
+            let mc = (self.dram_writes % self.dram.banks() as u64) as usize;
+            self.dram.reserve(mc, now_ns, self.dram_service_ns);
+        }
+    }
+
+    /// Starts a DRAM fetch for an L2 line; data arrives after queueing
+    /// plus a row-hit or row-miss latency. Lines interleave across
+    /// controllers; within a controller, consecutive lines share a row, so
+    /// streaming fills hit the open row.
+    fn fetch_from_dram(&mut self, l2_line: u64, ready_to_issue_ns: u64) {
+        self.dram_reads += 1;
+        let controllers = self.dram.banks() as u64;
+        let mc = (l2_line % controllers) as usize;
+        let row = (l2_line / controllers) / self.dram_lines_per_row;
+        let latency = if self.open_rows[mc] == row {
+            self.dram_row_hits += 1;
+            self.dram_row_hit_ns
+        } else {
+            self.open_rows[mc] = row;
+            self.dram_row_miss_ns
+        };
+        let start = self
+            .dram
+            .reserve(mc, ready_to_issue_ns, self.dram_service_ns);
+        let data_at = start + latency;
+        self.push_event(data_at, EventKind::DramData { l2_line });
+    }
+
+    /// An L1 read miss arrives from SM `sm` for the L1 line at
+    /// `byte_addr`. Returns nothing; the fill comes back as a
+    /// [`FillDelivery`] from [`tick`](Self::tick).
+    pub fn read_request(&mut self, sm: u32, byte_addr: u64, now_ns: u64) {
+        let arrival = self.icnt.request_arrival(sm, now_ns);
+        let l2_line = self.l2_line_of(byte_addr);
+
+        // Merge with an in-flight miss before touching the cache: the data
+        // is already on its way.
+        if let Some(pending) = self.l2_pending.get_mut(&l2_line) {
+            pending.waiters.push((sm, byte_addr));
+            return;
+        }
+
+        let out = self.llc.probe(byte_addr, AccessKind::Read, arrival);
+        self.charge_writebacks(out.writebacks, arrival);
+        if out.hit {
+            self.read_hit_latency_sum_ns += out.ready_ns.saturating_sub(arrival);
+            self.read_hit_count += 1;
+            let deliver_at = self.icnt.response_arrival(sm, out.ready_ns);
+            self.push_event(deliver_at, EventKind::L1Fill { sm, byte_addr });
+        } else {
+            self.l2_pending.insert(
+                l2_line,
+                L2Pending {
+                    dirty: false,
+                    waiters: vec![(sm, byte_addr)],
+                },
+            );
+            self.fetch_from_dram(l2_line, out.ready_ns);
+        }
+    }
+
+    /// A global write (write-through from SM `sm`'s L1) arrives for
+    /// `byte_addr`. Writes complete without a response; misses allocate in
+    /// L2 (write-allocate) after a DRAM fetch.
+    pub fn write_request(&mut self, sm: u32, byte_addr: u64, now_ns: u64) {
+        let arrival = self.icnt.request_arrival(sm, now_ns);
+        let l2_line = self.l2_line_of(byte_addr);
+
+        if let Some(pending) = self.l2_pending.get_mut(&l2_line) {
+            pending.dirty = true;
+            return;
+        }
+
+        let out = self.llc.probe(byte_addr, AccessKind::Write, arrival);
+        self.charge_writebacks(out.writebacks, arrival);
+        if !out.hit {
+            self.l2_pending.insert(
+                l2_line,
+                L2Pending {
+                    dirty: true,
+                    waiters: Vec::new(),
+                },
+            );
+            self.fetch_from_dram(l2_line, out.ready_ns);
+        }
+    }
+
+    /// Advances the memory system to `now_ns`: runs due maintenance and
+    /// events, returning L1 fill deliveries that are due.
+    pub fn tick(&mut self, now_ns: u64) -> Vec<FillDelivery> {
+        // L2 refresh/expiry cadence.
+        if self.maintain_interval_ns != u64::MAX {
+            while self.next_maintain_ns <= now_ns {
+                let t = self.next_maintain_ns;
+                self.llc.maintain(t);
+                self.next_maintain_ns += self.maintain_interval_ns;
+            }
+        }
+
+        let mut fills = Vec::new();
+        while let Some(&Reverse((t, _, kind))) = self.events.peek() {
+            if t > now_ns {
+                break;
+            }
+            self.events.pop();
+            match kind {
+                EventKind::DramData { l2_line } => {
+                    let byte_addr = l2_line * self.l2_line_bytes;
+                    let pending = self.l2_pending.remove(&l2_line).unwrap_or_default();
+                    let out = self.llc.fill(byte_addr, pending.dirty, t);
+                    self.charge_writebacks(out.writebacks, t);
+                    // Fill-and-forward: waiters get data over the icnt.
+                    for (sm, l1_addr) in pending.waiters {
+                        let deliver_at = self.icnt.response_arrival(sm, t);
+                        self.push_event(
+                            deliver_at,
+                            EventKind::L1Fill {
+                                sm,
+                                byte_addr: l1_addr,
+                            },
+                        );
+                    }
+                }
+                EventKind::L1Fill { sm, byte_addr } => {
+                    fills.push(FillDelivery { sm, byte_addr });
+                }
+            }
+        }
+        fills
+    }
+
+    /// Whether no memory traffic is in flight.
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty() && self.l2_pending.is_empty()
+    }
+
+    /// Time of the next scheduled event, if any (lets the driver skip
+    /// idle cycles).
+    pub fn next_event_ns(&self) -> Option<u64> {
+        self.events.peek().map(|Reverse((t, _, _))| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GpuConfig, L2ModelConfig};
+
+    fn mem() -> MemSystem {
+        let mut cfg = GpuConfig::gtx480();
+        cfg.l2 = L2ModelConfig::Sram {
+            kb: 64,
+            ways: 8,
+            banks: 2,
+        };
+        MemSystem::new(&cfg)
+    }
+
+    /// Drains the system, returning all deliveries with their times.
+    fn drain(m: &mut MemSystem, until_ns: u64) -> Vec<(u64, FillDelivery)> {
+        let mut out = Vec::new();
+        let mut t = 0;
+        while t <= until_ns {
+            for f in m.tick(t) {
+                out.push((t, f));
+            }
+            t += 10;
+        }
+        out
+    }
+
+    #[test]
+    fn read_miss_round_trip() {
+        let mut m = mem();
+        m.read_request(3, 0x1000, 0);
+        assert_eq!(m.dram_reads, 1);
+        let fills = drain(&mut m, 10_000);
+        assert_eq!(fills.len(), 1);
+        let (t, f) = fills[0];
+        assert_eq!(f.sm, 3);
+        assert_eq!(f.byte_addr, 0x1000);
+        assert!(t >= 160, "must include DRAM latency, got {t}");
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn read_hit_skips_dram() {
+        let mut m = mem();
+        m.read_request(0, 0x1000, 0);
+        drain(&mut m, 10_000);
+        let reads_before = m.dram_reads;
+        m.read_request(1, 0x1000, 20_000);
+        assert_eq!(m.dram_reads, reads_before, "hit must not touch DRAM");
+        let fills = drain(&mut m, 40_000);
+        assert_eq!(fills.len(), 1);
+        // Hit latency is far below the DRAM round trip.
+        assert!(fills[0].0 - 20_000 < 100);
+    }
+
+    #[test]
+    fn concurrent_misses_merge() {
+        let mut m = mem();
+        m.read_request(0, 0x1000, 0);
+        m.read_request(1, 0x1080, 0); // same 256 B L2 line, different L1 line
+        assert_eq!(m.dram_reads, 1, "second miss must merge");
+        let fills = drain(&mut m, 10_000);
+        assert_eq!(fills.len(), 2, "both waiters are served");
+    }
+
+    #[test]
+    fn write_miss_allocates_dirty() {
+        let mut m = mem();
+        m.write_request(0, 0x2000, 0);
+        assert_eq!(m.dram_reads, 1, "write-allocate fetches the line");
+        drain(&mut m, 10_000);
+        // The line is now dirty in L2: evicting it later would write back.
+        let s = m.llc().summary();
+        assert_eq!(s.write_misses, 1);
+    }
+
+    #[test]
+    fn write_into_pending_line_merges_dirtiness() {
+        let mut m = mem();
+        m.read_request(0, 0x3000, 0);
+        m.write_request(1, 0x3000, 5);
+        assert_eq!(m.dram_reads, 1);
+        drain(&mut m, 10_000);
+        let s = m.llc().summary();
+        // The merged write never probed the cache.
+        assert_eq!(s.write_misses + s.write_hits, 0);
+    }
+
+    #[test]
+    fn maintenance_runs_for_two_part_l2() {
+        use sttgpu_core::TwoPartConfig;
+        let mut cfg = GpuConfig::gtx480();
+        cfg.l2 = L2ModelConfig::TwoPart(TwoPartConfig::new(8, 2, 56, 7, 256));
+        let mut m = MemSystem::new(&cfg);
+        assert!(m.maintain_interval_ns < u64::MAX);
+        // Fill a dirty line then run far past HR/LR retention.
+        m.write_request(0, 0x100, 0);
+        drain(&mut m, 20_000);
+        m.tick(10_000_000); // 10 ms
+        let tp = m.llc().as_two_part().expect("two-part L2");
+        assert!(
+            tp.stats().refreshes > 0 || tp.stats().hr_expirations > 0,
+            "maintenance must have acted"
+        );
+    }
+
+    #[test]
+    fn streaming_fills_hit_the_open_row() {
+        let mut m = mem();
+        // 6 controllers, 2 KB rows, 256 B lines: lines k and k+6 share a
+        // controller and (for small k) a row.
+        m.read_request(0, 0, 0);
+        drain(&mut m, 5_000);
+        assert_eq!(m.dram_row_hits, 0, "first touch misses the row");
+        m.read_request(0, 6 * 256, 10_000);
+        drain(&mut m, 20_000);
+        assert_eq!(m.dram_row_hits, 1, "same-row line must hit");
+        // A far-away line on the same controller closes the row.
+        m.read_request(0, 6 * 256 * 1000, 30_000);
+        drain(&mut m, 50_000);
+        assert_eq!(m.dram_row_hits, 1);
+    }
+
+    #[test]
+    fn row_hits_are_faster_than_row_misses() {
+        let mut m = mem();
+        m.read_request(0, 0, 0);
+        let first = drain(&mut m, 5_000);
+        let miss_latency = first[0].0;
+        m.read_request(0, 6 * 256, 10_000);
+        let second = drain(&mut m, 20_000);
+        let hit_latency = second[0].0 - 10_000;
+        assert!(
+            hit_latency + 20 < miss_latency,
+            "row hit {hit_latency} must beat row miss {miss_latency}"
+        );
+    }
+
+    #[test]
+    fn next_event_time_is_exposed() {
+        let mut m = mem();
+        assert_eq!(m.next_event_ns(), None);
+        m.read_request(0, 0x1000, 0);
+        assert!(m.next_event_ns().is_some());
+    }
+}

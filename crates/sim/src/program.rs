@@ -1,0 +1,452 @@
+//! Synthetic warp instruction streams.
+//!
+//! Every warp executes a procedurally generated stream of ALU and global
+//! memory instructions whose statistics come from [`KernelParams`]: the
+//! memory fraction, write fraction, footprint, write-working-set skew,
+//! read locality, coalescing degree and write phase. Streams are
+//! deterministic in (workload seed, kernel index, block id, warp id), so
+//! every simulator configuration sees the *same* access trace — the
+//! experiments compare architectures, not random draws.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use crate::kernel::{KernelParams, WritePhase};
+
+/// Base byte address of the local (per-thread) memory region — far above
+/// any global footprint so the two spaces never alias.
+pub const LOCAL_BASE: u64 = 1 << 40;
+
+/// One decoded warp instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarpInstr {
+    /// An arithmetic instruction (register-file only).
+    Alu,
+    /// A global load touching the given L1-line byte addresses.
+    MemRead(Vec<u64>),
+    /// A global store touching the given L1-line byte addresses.
+    MemWrite(Vec<u64>),
+    /// A **local** (per-thread) load — write-back cached in L1.
+    LocalRead(Vec<u64>),
+    /// A **local** (per-thread) store — write-back/write-allocate in L1;
+    /// dirty evictions flow to L2 later.
+    LocalWrite(Vec<u64>),
+}
+
+/// Deterministic per-warp instruction generator.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use sttgpu_sim::kernel::KernelParams;
+/// use sttgpu_sim::program::{WarpInstr, WarpProgram};
+///
+/// let k = Arc::new(KernelParams::new("k", 4, 64).with_instructions(50));
+/// let mut p = WarpProgram::new(k, 0, 0, 99, 128);
+/// let mut count = 0;
+/// while p.next_instr().is_some() {
+///     count += 1;
+/// }
+/// assert_eq!(count, 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WarpProgram {
+    params: Arc<KernelParams>,
+    rng: SmallRng,
+    issued: u32,
+    stream_cursor: u64,
+    local_cursor: u64,
+    local_warp_id: u64,
+    segment_base: u64,
+    segment_len: u64,
+    line_bytes: u64,
+}
+
+impl WarpProgram {
+    /// Creates the instruction stream of one warp.
+    ///
+    /// `kernel_index` and the warp's (block, warp-in-block) coordinates
+    /// seed the stream; `line_bytes` is the L1 line size used for address
+    /// alignment.
+    pub fn new(
+        params: Arc<KernelParams>,
+        block_id: u32,
+        warp_in_block: u32,
+        seed: u64,
+        line_bytes: u32,
+    ) -> Self {
+        let global_warp = block_id as u64 * params.warps_per_block() as u64 + warp_in_block as u64;
+        let mixed = seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(global_warp.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let rng = SmallRng::seed_from_u64(mixed);
+
+        // Local (per-thread) data lives in its own address region, far
+        // above any global footprint, with a small per-warp frame.
+        // Partition the footprint into per-warp streaming segments so
+        // coalesced streaming reads behave like real strided kernels. The
+        // window is capped at a fixed size so the per-SM resident stream
+        // working set stays L1-sized regardless of grid scale (real
+        // kernels tile their hot data the same way).
+        const STREAM_WINDOW_LINES: u64 = 2;
+        let total_warps = params.total_warps().max(1);
+        let lines_total = (params.footprint_bytes / line_bytes as u64).max(1);
+        let seg_lines = (lines_total / total_warps).clamp(1, STREAM_WINDOW_LINES);
+        let offset_lines = (global_warp * seg_lines) % lines_total;
+        let segment_base = params.addr_base + offset_lines * line_bytes as u64;
+        let segment_len = seg_lines * line_bytes as u64;
+
+        WarpProgram {
+            params,
+            rng,
+            issued: 0,
+            stream_cursor: 0,
+            local_cursor: 0,
+            local_warp_id: global_warp,
+            segment_base,
+            segment_len,
+            line_bytes: line_bytes as u64,
+        }
+    }
+
+    /// Instructions issued so far.
+    pub fn issued(&self) -> u32 {
+        self.issued
+    }
+
+    /// Whether the stream is exhausted.
+    pub fn is_finished(&self) -> bool {
+        self.issued >= self.params.instructions_per_warp
+    }
+
+    /// Fraction of the stream completed (0.0–1.0).
+    pub fn progress(&self) -> f64 {
+        self.issued as f64 / self.params.instructions_per_warp.max(1) as f64
+    }
+
+    fn align(&self, addr: u64) -> u64 {
+        addr / self.line_bytes * self.line_bytes
+    }
+
+    fn random_line_in(&mut self, base: u64, len_bytes: u64) -> u64 {
+        let lines = (len_bytes / self.line_bytes).max(1);
+        base + self.rng.gen_range(0..lines) * self.line_bytes
+    }
+
+    /// Number of distinct L1 lines this memory instruction touches, drawn
+    /// around the kernel's coalescing factor.
+    fn sample_lines(&mut self) -> usize {
+        let c = self.params.coalescing;
+        let floor = c.floor();
+        let n = if self.rng.gen_bool((c - floor).clamp(0.0, 1.0)) {
+            floor as usize + 1
+        } else {
+            floor as usize
+        };
+        n.clamp(1, 32)
+    }
+
+    fn gen_read(&mut self) -> Vec<u64> {
+        let n = self.sample_lines();
+        let mut addrs = Vec::with_capacity(n);
+        if self.rng.gen_bool(self.params.read_locality) {
+            // Stream through the warp's segment: consecutive lines.
+            for _ in 0..n {
+                let off = self.stream_cursor % self.segment_len;
+                addrs.push(self.align(self.segment_base + off));
+                self.stream_cursor += self.line_bytes;
+            }
+        } else {
+            // Random shared-data lines across the whole footprint.
+            let base = self.params.addr_base;
+            let len = self.params.footprint_bytes;
+            for _ in 0..n {
+                addrs.push(self.random_line_in(base, len));
+            }
+        }
+        addrs
+    }
+
+    fn gen_write(&mut self) -> Vec<u64> {
+        let n = self.sample_lines();
+        let mut addrs = Vec::with_capacity(n);
+        let wws_len = ((self.params.footprint_bytes as f64 * self.params.wws_fraction) as u64)
+            .max(self.line_bytes);
+        for _ in 0..n {
+            if self.rng.gen_bool(self.params.write_skew) {
+                // Concentrated write-working-set traffic.
+                addrs.push(self.random_line_in(self.params.addr_base, wws_len));
+            } else {
+                // Scattered writes across the footprint.
+                addrs.push(self.random_line_in(self.params.addr_base, self.params.footprint_bytes));
+            }
+        }
+        addrs
+    }
+
+    /// Effective probability that a memory op is a write at this point of
+    /// the stream, honouring the kernel's write phase.
+    fn write_probability(&self) -> f64 {
+        match self.params.write_phase {
+            WritePhase::Uniform => self.params.write_fraction,
+            WritePhase::EndOfKernel => {
+                // All write traffic compressed into the last 20 % of the
+                // stream (grids write their outputs at the end, §4).
+                if self.progress() < 0.8 {
+                    0.0
+                } else {
+                    (self.params.write_fraction * 5.0).min(1.0)
+                }
+            }
+        }
+    }
+
+    fn gen_local(&mut self) -> Vec<u64> {
+        // A tiny per-warp spill frame, revisited round-robin: spills have
+        // extreme locality.
+        let frame_lines = 2u64;
+        let base = LOCAL_BASE + self.local_warp_id * frame_lines * self.line_bytes;
+        let off = (self.local_cursor % frame_lines) * self.line_bytes;
+        self.local_cursor += 1;
+        vec![base + off]
+    }
+
+    /// Generates the next instruction, or `None` when the warp is done.
+    pub fn next_instr(&mut self) -> Option<WarpInstr> {
+        if self.is_finished() {
+            return None;
+        }
+        let w_prob = self.write_probability();
+        self.issued += 1;
+        if self.rng.gen_bool(self.params.mem_fraction) {
+            if self.params.local_fraction > 0.0 && self.rng.gen_bool(self.params.local_fraction) {
+                // Register spills: reads and rewrites of the private frame.
+                if self.rng.gen_bool(0.5) {
+                    Some(WarpInstr::LocalWrite(self.gen_local()))
+                } else {
+                    Some(WarpInstr::LocalRead(self.gen_local()))
+                }
+            } else if self.rng.gen_bool(w_prob) {
+                Some(WarpInstr::MemWrite(self.gen_write()))
+            } else {
+                Some(WarpInstr::MemRead(self.gen_read()))
+            }
+        } else {
+            Some(WarpInstr::Alu)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Arc<KernelParams> {
+        Arc::new(
+            KernelParams::new("k", 8, 64)
+                .with_instructions(2_000)
+                .with_mem_fraction(0.4)
+                .with_write_fraction(0.3)
+                .with_footprint_kb(256),
+        )
+    }
+
+    fn collect(p: &mut WarpProgram) -> Vec<WarpInstr> {
+        std::iter::from_fn(|| p.next_instr()).collect()
+    }
+
+    #[test]
+    fn stream_length_matches_params() {
+        let mut p = WarpProgram::new(params(), 0, 0, 1, 128);
+        assert_eq!(collect(&mut p).len(), 2_000);
+        assert!(p.is_finished());
+        assert!(p.next_instr().is_none());
+    }
+
+    #[test]
+    fn deterministic_for_same_coordinates() {
+        let a = collect(&mut WarpProgram::new(params(), 3, 1, 42, 128));
+        let b = collect(&mut WarpProgram::new(params(), 3, 1, 42, 128));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_warps_differ() {
+        let a = collect(&mut WarpProgram::new(params(), 0, 0, 42, 128));
+        let b = collect(&mut WarpProgram::new(params(), 0, 1, 42, 128));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mix_approximates_fractions() {
+        let instrs = collect(&mut WarpProgram::new(params(), 0, 0, 7, 128));
+        let mem = instrs
+            .iter()
+            .filter(|i| !matches!(i, WarpInstr::Alu))
+            .count() as f64;
+        let writes = instrs
+            .iter()
+            .filter(|i| matches!(i, WarpInstr::MemWrite(_)))
+            .count() as f64;
+        let mem_frac = mem / instrs.len() as f64;
+        let write_frac = writes / mem;
+        assert!((mem_frac - 0.4).abs() < 0.05, "mem fraction {mem_frac}");
+        assert!(
+            (write_frac - 0.3).abs() < 0.06,
+            "write fraction {write_frac}"
+        );
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint_and_aligned() {
+        let p = params();
+        let fp = p.footprint_bytes;
+        let mut prog = WarpProgram::new(p, 1, 1, 9, 128);
+        for instr in std::iter::from_fn(|| prog.next_instr()) {
+            let addrs = match &instr {
+                WarpInstr::Alu => continue,
+                WarpInstr::MemRead(a) | WarpInstr::MemWrite(a) => a,
+                WarpInstr::LocalRead(a) | WarpInstr::LocalWrite(a) => {
+                    for &addr in a {
+                        assert!(addr >= LOCAL_BASE, "local address below LOCAL_BASE");
+                    }
+                    continue;
+                }
+            };
+            for &a in addrs {
+                assert!(a < fp, "address {a:#x} outside footprint");
+                assert_eq!(a % 128, 0, "address {a:#x} not line-aligned");
+            }
+        }
+    }
+
+    #[test]
+    fn write_skew_concentrates_writes() {
+        let p = Arc::new(
+            KernelParams::new("k", 4, 64)
+                .with_instructions(4_000)
+                .with_mem_fraction(0.5)
+                .with_write_fraction(0.5)
+                .with_footprint_kb(1024)
+                .with_wws(0.05, 0.9),
+        );
+        let wws_limit = (p.footprint_bytes as f64 * 0.05) as u64;
+        let mut prog = WarpProgram::new(p, 0, 0, 11, 128);
+        let mut in_wws = 0usize;
+        let mut total = 0usize;
+        for instr in std::iter::from_fn(|| prog.next_instr()) {
+            if let WarpInstr::MemWrite(addrs) = instr {
+                for a in addrs {
+                    total += 1;
+                    if a < wws_limit {
+                        in_wws += 1;
+                    }
+                }
+            }
+        }
+        let frac = in_wws as f64 / total as f64;
+        assert!(frac > 0.85, "write concentration {frac}");
+    }
+
+    #[test]
+    fn end_of_kernel_phase_delays_writes() {
+        let p = Arc::new(
+            KernelParams::new("k", 1, 32)
+                .with_instructions(1_000)
+                .with_mem_fraction(0.5)
+                .with_write_fraction(0.2)
+                .with_write_phase(WritePhase::EndOfKernel),
+        );
+        let mut prog = WarpProgram::new(p, 0, 0, 5, 128);
+        let instrs = collect(&mut prog);
+        let first_write = instrs
+            .iter()
+            .position(|i| matches!(i, WarpInstr::MemWrite(_)))
+            .expect("some write must occur");
+        assert!(
+            first_write >= 790,
+            "first write at {first_write} should be in the last fifth"
+        );
+    }
+
+    #[test]
+    fn local_fraction_generates_private_frame_traffic() {
+        let p = Arc::new(
+            KernelParams::new("k", 2, 64)
+                .with_instructions(2_000)
+                .with_mem_fraction(0.6)
+                .with_local_fraction(0.5),
+        );
+        let mut prog = WarpProgram::new(Arc::clone(&p), 1, 0, 5, 128);
+        let mut locals = 0usize;
+        let mut frame = std::collections::HashSet::new();
+        let mut mems = 0usize;
+        for instr in std::iter::from_fn(|| prog.next_instr()) {
+            match instr {
+                WarpInstr::LocalRead(a) | WarpInstr::LocalWrite(a) => {
+                    locals += 1;
+                    for addr in a {
+                        assert!(addr >= LOCAL_BASE);
+                        frame.insert(addr);
+                    }
+                }
+                WarpInstr::MemRead(_) | WarpInstr::MemWrite(_) => mems += 1,
+                WarpInstr::Alu => {}
+            }
+        }
+        assert!(locals > 0, "local ops must be generated");
+        // Roughly half of memory ops are local at local_fraction 0.5.
+        let frac = locals as f64 / (locals + mems) as f64;
+        assert!((frac - 0.5).abs() < 0.08, "local share {frac}");
+        assert_eq!(frame.len(), 2, "spill frame is two lines");
+    }
+
+    #[test]
+    fn different_warps_use_disjoint_local_frames() {
+        let p = Arc::new(
+            KernelParams::new("k", 2, 64)
+                .with_instructions(500)
+                .with_mem_fraction(0.8)
+                .with_local_fraction(1.0),
+        );
+        let frame_of = |block: u32, warp: u32| {
+            let mut prog = WarpProgram::new(Arc::clone(&p), block, warp, 5, 128);
+            let mut frame = std::collections::BTreeSet::new();
+            for instr in std::iter::from_fn(|| prog.next_instr()) {
+                if let WarpInstr::LocalRead(a) | WarpInstr::LocalWrite(a) = instr {
+                    frame.extend(a);
+                }
+            }
+            frame
+        };
+        let a = frame_of(0, 0);
+        let b = frame_of(0, 1);
+        assert!(a.is_disjoint(&b), "frames must not alias");
+    }
+
+    #[test]
+    fn coalescing_controls_lines_per_op() {
+        let p = Arc::new(
+            KernelParams::new("k", 1, 32)
+                .with_instructions(3_000)
+                .with_mem_fraction(1.0)
+                .with_coalescing(4.0),
+        );
+        let mut prog = WarpProgram::new(p, 0, 0, 3, 128);
+        let mut total_lines = 0usize;
+        let mut ops = 0usize;
+        for instr in std::iter::from_fn(|| prog.next_instr()) {
+            match instr {
+                WarpInstr::MemRead(a) | WarpInstr::MemWrite(a) => {
+                    total_lines += a.len();
+                    ops += 1;
+                }
+                WarpInstr::LocalRead(_) | WarpInstr::LocalWrite(_) | WarpInstr::Alu => {}
+            }
+        }
+        let avg = total_lines as f64 / ops as f64;
+        assert!((avg - 4.0).abs() < 0.2, "avg lines {avg}");
+    }
+}

@@ -1,0 +1,470 @@
+//! Streaming multiprocessor: warp scheduling and instruction issue.
+//!
+//! Each cycle the SM issues up to `issue_width` instructions from ready
+//! warps (loose round-robin). Warps stall when they exceed the outstanding
+//! -load limit and wake when fill responses arrive — interleaving many
+//! resident warps is how the GPU hides memory latency, and why occupancy
+//! (hence register-file size, hence configurations C2/C3) matters.
+
+use std::sync::Arc;
+
+use std::collections::VecDeque;
+
+use crate::config::{GpuConfig, WarpScheduler};
+use crate::kernel::KernelParams;
+use crate::l1::{L1Cache, L1ReadOutcome};
+use crate::mem::MemSystem;
+use crate::program::{WarpInstr, WarpProgram};
+use crate::warp::Warp;
+
+/// Replay delay after an MSHR-full stall, cycles.
+const MSHR_RETRY_CYCLES: u64 = 8;
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    id: u32,
+    warps: Vec<Option<Warp>>,
+    ready: VecDeque<usize>,
+    /// Live warps per resident block slot (0 = slot free).
+    blocks: Vec<u32>,
+    l1: L1Cache,
+    issue_width: u32,
+    dep_interval: u64,
+    max_pending: u32,
+    warp_size: u32,
+    scheduler: WarpScheduler,
+    /// The warp GTO keeps issuing from until it stalls.
+    greedy: Option<usize>,
+    /// Monotone launch counter assigning warp ages.
+    age_counter: u64,
+    /// Thread instructions committed.
+    pub instructions: u64,
+    /// Cycles with no issuable warp.
+    pub idle_cycles: u64,
+    /// Instruction replays due to full L1 MSHRs.
+    pub mshr_stalls: u64,
+}
+
+impl Sm {
+    /// Creates an empty SM.
+    pub fn new(cfg: &GpuConfig, id: u32) -> Self {
+        Sm {
+            id,
+            warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
+            ready: VecDeque::new(),
+            blocks: Vec::new(),
+            l1: L1Cache::new(&cfg.l1),
+            issue_width: cfg.issue_width,
+            dep_interval: cfg.dep_interval_cycles as u64,
+            max_pending: cfg.max_pending_loads,
+            warp_size: cfg.warp_size,
+            scheduler: cfg.scheduler,
+            greedy: None,
+            age_counter: 0,
+            instructions: 0,
+            idle_cycles: 0,
+            mshr_stalls: 0,
+        }
+    }
+
+    /// This SM's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Free warp contexts.
+    pub fn free_warp_slots(&self) -> usize {
+        self.warps.iter().filter(|w| w.is_none()).count()
+    }
+
+    /// Live warps.
+    pub fn live_warps(&self) -> usize {
+        self.warps.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Live blocks.
+    pub fn live_blocks(&self) -> u32 {
+        self.blocks.iter().filter(|&&c| c > 0).count() as u32
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_idle(&self) -> bool {
+        self.live_warps() == 0
+    }
+
+    /// The SM's L1 data cache (for statistics).
+    pub fn l1(&self) -> &L1Cache {
+        &self.l1
+    }
+
+    /// Invalidates the L1 (kernel boundary — GPU L1s hold no dirty global
+    /// data, so this is traffic-free).
+    pub fn flush_l1(&mut self) {
+        self.l1.invalidate_all();
+    }
+
+    /// Launches one thread block; returns `false` when warp contexts are
+    /// insufficient.
+    pub fn launch_block(
+        &mut self,
+        kernel: &Arc<KernelParams>,
+        block_id: u32,
+        seed: u64,
+        cycle: u64,
+    ) -> bool {
+        let needed = kernel.warps_per_block() as usize;
+        if self.free_warp_slots() < needed {
+            return false;
+        }
+        // Claim or reuse a block slot.
+        let block_slot = match self.blocks.iter().position(|&c| c == 0) {
+            Some(i) => {
+                self.blocks[i] = needed as u32;
+                i
+            }
+            None => {
+                self.blocks.push(needed as u32);
+                self.blocks.len() - 1
+            }
+        };
+        let mut placed = 0u32;
+        for slot in 0..self.warps.len() {
+            if placed == needed as u32 {
+                break;
+            }
+            if self.warps[slot].is_none() {
+                let program = WarpProgram::new(
+                    Arc::clone(kernel),
+                    block_id,
+                    placed,
+                    seed,
+                    self.l1.line_bytes(),
+                );
+                let mut warp = Warp::new(program, block_slot);
+                warp.age = self.age_counter;
+                self.age_counter += 1;
+                warp.ready_at = cycle;
+                warp.queued = true;
+                self.warps[slot] = Some(warp);
+                self.ready.push_back(slot);
+                placed += 1;
+            }
+        }
+        debug_assert_eq!(placed, needed as u32);
+        true
+    }
+
+    /// Retires `slot`'s warp; returns `true` when its whole block retired.
+    fn retire_warp(&mut self, slot: usize) -> bool {
+        let warp = self.warps[slot].take().expect("retiring a live warp");
+        let left = &mut self.blocks[warp.block_slot];
+        *left -= 1;
+        *left == 0
+    }
+
+    /// Delivers an L1 fill response, waking warps. Returns the number of
+    /// blocks that retired as a result.
+    pub fn deliver_fill(&mut self, byte_addr: u64, now_ns: u64, mem: &mut MemSystem) -> u32 {
+        let (tokens, dirty_victim) = self.l1.fill(byte_addr, now_ns);
+        if let Some(victim_addr) = dirty_victim {
+            mem.write_request(self.id, victim_addr, now_ns);
+        }
+        let mut blocks_retired = 0;
+        for token in tokens {
+            let slot = token as usize;
+            let Some(warp) = self.warps[slot].as_mut() else {
+                continue;
+            };
+            warp.pending_loads = warp.pending_loads.saturating_sub(1);
+            if warp.queued {
+                continue;
+            }
+            if warp.can_retire() {
+                if self.retire_warp(slot) {
+                    blocks_retired += 1;
+                }
+            } else if warp.pending_loads < self.max_pending && !warp.stream_done() {
+                warp.queued = true;
+                self.ready.push_back(slot);
+            }
+        }
+        blocks_retired
+    }
+
+    /// Executes one instruction's memory reads. Returns `(misses_issued,
+    /// true)` on success or `(partial, false)` on an MSHR-full abort.
+    fn issue_reads(
+        &mut self,
+        slot: usize,
+        addrs: &[u64],
+        mem: &mut MemSystem,
+        now_ns: u64,
+    ) -> (u32, bool) {
+        let mut misses = 0;
+        for &addr in addrs {
+            match self.l1.read(addr, slot as u64, now_ns) {
+                L1ReadOutcome::Hit => {}
+                L1ReadOutcome::MissIssued => {
+                    mem.read_request(self.id, addr, now_ns);
+                    misses += 1;
+                }
+                L1ReadOutcome::MissMerged => {
+                    misses += 1;
+                }
+                L1ReadOutcome::MshrFull => {
+                    return (misses, false);
+                }
+            }
+        }
+        (misses, true)
+    }
+
+    /// Removes and returns the next issuable warp slot per the scheduling
+    /// policy, or `None` if no queued warp can issue this cycle.
+    fn pop_issuable(&mut self, cycle: u64) -> Option<usize> {
+        let issuable = |warps: &[Option<Warp>], slot: usize| {
+            warps[slot].as_ref().is_some_and(|w| w.ready_at <= cycle)
+        };
+        match self.scheduler {
+            WarpScheduler::LooseRoundRobin => {
+                // Rotate until an issuable warp surfaces.
+                for _ in 0..self.ready.len() {
+                    let slot = self.ready.pop_front()?;
+                    if issuable(&self.warps, slot) {
+                        return Some(slot);
+                    }
+                    self.ready.push_back(slot);
+                }
+                None
+            }
+            WarpScheduler::GreedyThenOldest => {
+                // Stick with the greedy warp while it can issue...
+                if let Some(g) = self.greedy {
+                    if let Some(idx) = self.ready.iter().position(|&s| s == g) {
+                        if issuable(&self.warps, g) {
+                            self.ready.remove(idx);
+                            return Some(g);
+                        }
+                    }
+                }
+                // ...otherwise the oldest ready warp becomes greedy.
+                let best = self
+                    .ready
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &s)| issuable(&self.warps, s))
+                    .min_by_key(|&(_, &s)| self.warps[s].as_ref().expect("queued").age)
+                    .map(|(idx, _)| idx)?;
+                let slot = self.ready.remove(best).expect("index valid");
+                self.greedy = Some(slot);
+                Some(slot)
+            }
+        }
+    }
+
+    /// Runs one cycle of issue. Returns the number of blocks retired.
+    pub fn cycle(&mut self, mem: &mut MemSystem, cycle: u64, now_ns: u64) -> u32 {
+        let mut blocks_retired = 0;
+        let mut issued = 0u32;
+        let mut issued_any = false;
+
+        while issued < self.issue_width {
+            let Some(slot) = self.pop_issuable(cycle) else {
+                break;
+            };
+            let warp = self.warps[slot].as_mut().expect("queued warp is live");
+
+            let Some(instr) = warp.take_instr() else {
+                // Stream exhausted: retire or wait for loads to drain.
+                warp.queued = false;
+                if warp.can_retire() && self.retire_warp(slot) {
+                    blocks_retired += 1;
+                }
+                continue;
+            };
+
+            issued += 1;
+            issued_any = true;
+            match instr {
+                WarpInstr::Alu => {
+                    self.instructions += self.warp_size as u64;
+                    let dep = self.dep_interval;
+                    let warp = self.warps[slot].as_mut().expect("live");
+                    warp.ready_at = cycle + dep;
+                    self.ready.push_back(slot);
+                }
+                WarpInstr::MemWrite(addrs) => {
+                    for &addr in &addrs {
+                        self.l1.write(addr, now_ns);
+                        mem.write_request(self.id, addr, now_ns);
+                    }
+                    self.instructions += self.warp_size as u64;
+                    let dep = self.dep_interval;
+                    let warp = self.warps[slot].as_mut().expect("live");
+                    warp.ready_at = cycle + dep;
+                    self.ready.push_back(slot);
+                }
+                WarpInstr::LocalWrite(addrs) => {
+                    // Write-back/write-allocate (paper Fig. 1-b): the write
+                    // stays in L1; only displaced dirty lines reach L2.
+                    for &addr in &addrs {
+                        if let Some(victim) = self.l1.write_local(addr, now_ns) {
+                            mem.write_request(self.id, victim, now_ns);
+                        }
+                    }
+                    self.instructions += self.warp_size as u64;
+                    let dep = self.dep_interval;
+                    let warp = self.warps[slot].as_mut().expect("live");
+                    warp.ready_at = cycle + dep;
+                    self.ready.push_back(slot);
+                }
+                WarpInstr::MemRead(addrs) | WarpInstr::LocalRead(addrs) => {
+                    let (misses, ok) = self.issue_reads(slot, &addrs, mem, now_ns);
+                    let max_pending = self.max_pending;
+                    let warp = self.warps[slot].as_mut().expect("live");
+                    warp.pending_loads += misses;
+                    if !ok {
+                        // MSHR full: replay the whole instruction later.
+                        self.mshr_stalls += 1;
+                        warp.replay = Some(WarpInstr::MemRead(addrs));
+                        warp.ready_at = cycle + MSHR_RETRY_CYCLES;
+                        self.ready.push_back(slot);
+                        continue;
+                    }
+                    self.instructions += self.warp_size as u64;
+                    if warp.pending_loads >= max_pending {
+                        // Stalled: wakes via deliver_fill.
+                        warp.queued = false;
+                    } else if warp.stream_done() {
+                        warp.queued = false;
+                        if warp.can_retire() && self.retire_warp(slot) {
+                            blocks_retired += 1;
+                        }
+                    } else {
+                        warp.ready_at = cycle + self.dep_interval;
+                        self.ready.push_back(slot);
+                    }
+                }
+            }
+        }
+
+        if !issued_any && !self.is_idle() {
+            self.idle_cycles += 1;
+        }
+        blocks_retired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GpuConfig, L2ModelConfig};
+    use sttgpu_core::LlcModel;
+
+    fn setup(kernel: KernelParams) -> (Sm, MemSystem, Arc<KernelParams>) {
+        let mut cfg = GpuConfig::gtx480();
+        cfg.l2 = L2ModelConfig::Sram {
+            kb: 64,
+            ways: 8,
+            banks: 2,
+        };
+        (Sm::new(&cfg, 0), MemSystem::new(&cfg), Arc::new(kernel))
+    }
+
+    /// Runs the SM until idle, delivering memory responses.
+    fn run_to_completion(sm: &mut Sm, mem: &mut MemSystem, max_cycles: u64) -> u32 {
+        let mut retired = 0;
+        for cycle in 0..max_cycles {
+            let now_ns = cycle * 5 / 7;
+            let fills = mem.tick(now_ns);
+            for fill in fills {
+                retired += sm.deliver_fill(fill.byte_addr, now_ns, mem);
+            }
+            retired += sm.cycle(mem, cycle, now_ns);
+            if sm.is_idle() && mem.is_idle() {
+                return retired;
+            }
+        }
+        panic!("SM did not drain in {max_cycles} cycles");
+    }
+
+    #[test]
+    fn launch_and_drain_alu_only_block() {
+        let k = KernelParams::new("k", 1, 64)
+            .with_instructions(100)
+            .with_mem_fraction(0.0);
+        let (mut sm, mut mem, k) = setup(k);
+        assert!(sm.launch_block(&k, 0, 1, 0));
+        assert_eq!(sm.live_warps(), 2);
+        let retired = run_to_completion(&mut sm, &mut mem, 10_000);
+        assert_eq!(retired, 1);
+        assert!(sm.is_idle());
+        // 2 warps * 100 instr * 32 threads.
+        assert_eq!(sm.instructions, 6_400);
+    }
+
+    #[test]
+    fn memory_kernel_completes_with_l2_traffic() {
+        let k = KernelParams::new("k", 1, 64)
+            .with_instructions(300)
+            .with_mem_fraction(0.5)
+            .with_write_fraction(0.2)
+            .with_footprint_kb(128);
+        let (mut sm, mut mem, k) = setup(k);
+        sm.launch_block(&k, 0, 2, 0);
+        run_to_completion(&mut sm, &mut mem, 2_000_000);
+        assert!(mem.llc().summary().accesses() > 0, "L2 must see traffic");
+        assert!(mem.dram_reads > 0, "cold misses must reach DRAM");
+    }
+
+    #[test]
+    fn capacity_respected() {
+        let k = KernelParams::new("k", 4, 32 * 48); // 48 warps per block
+        let (mut sm, _mem, k) = setup(k);
+        assert!(sm.launch_block(&k, 0, 1, 0));
+        assert_eq!(sm.free_warp_slots(), 0);
+        assert!(!sm.launch_block(&k, 1, 1, 0), "no contexts left");
+    }
+
+    #[test]
+    fn multiple_blocks_share_the_sm() {
+        let k = KernelParams::new("k", 2, 64)
+            .with_instructions(50)
+            .with_mem_fraction(0.0);
+        let (mut sm, mut mem, k) = setup(k);
+        assert!(sm.launch_block(&k, 0, 1, 0));
+        assert!(sm.launch_block(&k, 1, 1, 0));
+        assert_eq!(sm.live_blocks(), 2);
+        let retired = run_to_completion(&mut sm, &mut mem, 100_000);
+        assert_eq!(retired, 2);
+    }
+
+    #[test]
+    fn block_slot_reuse_after_retirement() {
+        let k = KernelParams::new("k", 3, 64)
+            .with_instructions(10)
+            .with_mem_fraction(0.0);
+        let (mut sm, mut mem, k) = setup(k);
+        sm.launch_block(&k, 0, 1, 0);
+        run_to_completion(&mut sm, &mut mem, 10_000);
+        assert!(sm.launch_block(&k, 1, 1, 0), "slots must be reusable");
+        assert_eq!(sm.live_blocks(), 1);
+    }
+
+    #[test]
+    fn idle_cycles_counted_when_warps_stall() {
+        // One warp, pure loads over a big footprint: it will stall on
+        // DRAM and the SM will idle.
+        let k = KernelParams::new("k", 1, 32)
+            .with_instructions(50)
+            .with_mem_fraction(1.0)
+            .with_write_fraction(0.0)
+            .with_read_locality(0.0)
+            .with_footprint_kb(4 * 1024);
+        let (mut sm, mut mem, k) = setup(k);
+        sm.launch_block(&k, 0, 3, 0);
+        run_to_completion(&mut sm, &mut mem, 2_000_000);
+        assert!(sm.idle_cycles > 0, "a single warp cannot hide DRAM latency");
+    }
+}

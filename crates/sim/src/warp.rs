@@ -1,0 +1,108 @@
+//! Warp execution state.
+
+use crate::program::{WarpInstr, WarpProgram};
+
+/// One resident warp's scheduler-visible state.
+#[derive(Debug, Clone)]
+pub struct Warp {
+    /// The warp's instruction stream.
+    pub program: WarpProgram,
+    /// Index of the owning block in the SM's block table.
+    pub block_slot: usize,
+    /// Launch order within the SM (lower = older), used by GTO scheduling.
+    pub age: u64,
+    /// Outstanding load requests (the warp stalls at the SM's
+    /// `max_pending_loads`).
+    pub pending_loads: u32,
+    /// Earliest cycle the warp may issue again.
+    pub ready_at: u64,
+    /// Whether the warp currently sits in the SM's ready queue.
+    pub queued: bool,
+    /// An instruction that must replay (e.g. after an MSHR-full stall).
+    pub replay: Option<WarpInstr>,
+}
+
+impl Warp {
+    /// Creates a warp ready to issue at cycle 0.
+    pub fn new(program: WarpProgram, block_slot: usize) -> Self {
+        Warp {
+            program,
+            block_slot,
+            age: 0,
+            pending_loads: 0,
+            ready_at: 0,
+            queued: false,
+            replay: None,
+        }
+    }
+
+    /// Whether the warp has issued its whole stream (it may still have
+    /// loads in flight).
+    pub fn stream_done(&self) -> bool {
+        self.program.is_finished() && self.replay.is_none()
+    }
+
+    /// Whether the warp can retire: stream done and no loads in flight.
+    pub fn can_retire(&self) -> bool {
+        self.stream_done() && self.pending_loads == 0
+    }
+
+    /// Takes the next instruction to execute: a pending replay first,
+    /// otherwise the next generated instruction.
+    pub fn take_instr(&mut self) -> Option<WarpInstr> {
+        if let Some(i) = self.replay.take() {
+            return Some(i);
+        }
+        self.program.next_instr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelParams;
+    use std::sync::Arc;
+
+    fn warp(instrs: u32) -> Warp {
+        let k = Arc::new(KernelParams::new("k", 1, 32).with_instructions(instrs));
+        Warp::new(WarpProgram::new(k, 0, 0, 1, 128), 0)
+    }
+
+    #[test]
+    fn fresh_warp_is_issuable() {
+        let w = warp(10);
+        assert!(!w.stream_done());
+        assert!(!w.can_retire());
+        assert_eq!(w.pending_loads, 0);
+    }
+
+    #[test]
+    fn drains_to_retirement() {
+        let mut w = warp(3);
+        assert!(w.take_instr().is_some());
+        assert!(w.take_instr().is_some());
+        assert!(w.take_instr().is_some());
+        assert!(w.take_instr().is_none());
+        assert!(w.can_retire());
+    }
+
+    #[test]
+    fn pending_loads_block_retirement() {
+        let mut w = warp(1);
+        let _ = w.take_instr();
+        w.pending_loads = 1;
+        assert!(w.stream_done());
+        assert!(!w.can_retire());
+        w.pending_loads = 0;
+        assert!(w.can_retire());
+    }
+
+    #[test]
+    fn replay_takes_priority() {
+        let mut w = warp(5);
+        let first = w.take_instr().expect("instruction");
+        w.replay = Some(first.clone());
+        assert!(!w.stream_done());
+        assert_eq!(w.take_instr(), Some(first));
+    }
+}

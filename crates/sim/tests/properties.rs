@@ -1,0 +1,142 @@
+//! Property-based tests for the GPU simulator's global invariants.
+
+use proptest::prelude::*;
+use sttgpu_sim::{Gpu, GpuConfig, KernelParams, L2ModelConfig, WarpScheduler, Workload};
+
+fn small_cfg() -> GpuConfig {
+    let mut cfg = GpuConfig::gtx480();
+    cfg.num_sms = 3;
+    cfg.l2 = L2ModelConfig::Sram {
+        kb: 64,
+        ways: 8,
+        banks: 4,
+    };
+    cfg
+}
+
+/// Strategy over small but varied kernels.
+fn kernel_strategy() -> impl Strategy<Value = KernelParams> {
+    (
+        2u32..12,    // blocks
+        1u32..4,     // warps per block (x32 threads)
+        50u32..300,  // instructions
+        0.0f64..0.5, // mem fraction
+        0.0f64..0.7, // write fraction
+        0.0f64..0.4, // local fraction
+        32u64..512,  // footprint KB
+        0.0f64..1.0, // read locality
+    )
+        .prop_map(|(blocks, wpb, instr, memf, wf, localf, fp, loc)| {
+            KernelParams::new("fuzz", blocks, wpb * 32)
+                .with_instructions(instr)
+                .with_mem_fraction(memf)
+                .with_write_fraction(wf)
+                .with_local_fraction(localf)
+                .with_footprint_kb(fp)
+                .with_read_locality(loc)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every fuzzed kernel drains: the GPU reaches the exact analytic
+    /// instruction count and goes idle.
+    #[test]
+    fn fuzzed_kernels_always_drain(k in kernel_strategy(), seed in 0u64..1000) {
+        let mut gpu = Gpu::new(small_cfg());
+        let m = gpu.run_seeded(std::slice::from_ref(&k), seed, 30_000_000);
+        prop_assert!(m.finished, "kernel did not drain");
+        let expected = k.blocks as u64 * k.threads_per_block as u64
+            * k.instructions_per_warp as u64;
+        prop_assert_eq!(m.instructions, expected, "instruction conservation");
+    }
+
+    /// The same (kernel, seed) is bit-identical across runs and across
+    /// L2 choices in committed work.
+    #[test]
+    fn determinism_and_trace_equality(k in kernel_strategy(), seed in 0u64..1000) {
+        let w = Workload::new("fuzz", vec![k], seed);
+        let mut a = Gpu::new(small_cfg());
+        let mut b = Gpu::new(small_cfg());
+        let ra = a.run_workload(&w, 30_000_000);
+        let rb = b.run_workload(&w, 30_000_000);
+        prop_assert_eq!(ra.cycles, rb.cycles);
+        prop_assert_eq!(ra.l2.accesses(), rb.l2.accesses());
+        prop_assert_eq!(ra.dram_reads, rb.dram_reads);
+
+        // A different L2 sees the same committed instructions.
+        let mut cfg = small_cfg();
+        cfg.l2 = L2ModelConfig::SttRam {
+            kb: 256,
+            ways: 8,
+            banks: 4,
+            retention_years: 10.0,
+        };
+        let mut c = Gpu::new(cfg);
+        let rc = c.run_workload(&w, 30_000_000);
+        prop_assert!(rc.finished);
+        prop_assert_eq!(rc.instructions, ra.instructions);
+    }
+
+    /// Both schedulers drain every fuzzed kernel with identical work.
+    #[test]
+    fn schedulers_agree_on_work(k in kernel_strategy(), seed in 0u64..500) {
+        let w = Workload::new("fuzz", vec![k], seed);
+        let mut lrr_cfg = small_cfg();
+        lrr_cfg.scheduler = WarpScheduler::LooseRoundRobin;
+        let mut gto_cfg = small_cfg();
+        gto_cfg.scheduler = WarpScheduler::GreedyThenOldest;
+        let ra = Gpu::new(lrr_cfg).run_workload(&w, 30_000_000);
+        let rb = Gpu::new(gto_cfg).run_workload(&w, 30_000_000);
+        prop_assert!(ra.finished && rb.finished);
+        prop_assert_eq!(ra.instructions, rb.instructions);
+    }
+
+    /// Accounting identities hold after any run: L2 accesses and DRAM
+    /// traffic are consistent with hit/miss counters.
+    #[test]
+    fn accounting_identities(k in kernel_strategy(), seed in 0u64..500) {
+        let mut gpu = Gpu::new(small_cfg());
+        let m = gpu.run_seeded(&[k], seed, 30_000_000);
+        prop_assert!(m.finished);
+        prop_assert_eq!(
+            m.l2.accesses(),
+            m.l2.read_hits + m.l2.read_misses + m.l2.write_hits + m.l2.write_misses
+        );
+        // Every DRAM read was caused by some L2 miss (merging can only
+        // reduce, never amplify).
+        prop_assert!(m.dram_reads <= m.l2.misses() + 1);
+        prop_assert!(m.dram_row_hits <= m.dram_reads);
+        // Energy is consistent with traffic.
+        let e = m.l2_energy.dynamic_nj();
+        if m.l2.accesses() > 0 {
+            prop_assert!(e > 0.0, "traffic must cost energy");
+        }
+    }
+}
+
+/// Proptest-independent: the two-part L2 under a fuzz-ish end-to-end run
+/// never loses LR data and keeps exclusivity (heavier than the unit-level
+/// checks because the full GPU drives it).
+#[test]
+fn two_part_under_full_gpu_traffic() {
+    use sttgpu_core::TwoPartConfig;
+    let mut cfg = small_cfg();
+    cfg.l2 = L2ModelConfig::TwoPart(TwoPartConfig::new(8, 2, 56, 7, 256));
+    let k = KernelParams::new("mixed", 12, 64)
+        .with_instructions(400)
+        .with_mem_fraction(0.3)
+        .with_write_fraction(0.4)
+        .with_local_fraction(0.1)
+        .with_footprint_kb(128);
+    let mut gpu = Gpu::new(cfg);
+    let m = gpu.run(&[k], 30_000_000);
+    assert!(m.finished);
+    let tp = gpu.llc().as_two_part().expect("two-part");
+    assert_eq!(tp.stats().lr_expirations, 0, "no LR data loss");
+    for line in 0..1024u64 {
+        let addr = line * 256;
+        assert!(!(tp.lr_contains(addr) && tp.hr_contains(addr)));
+    }
+}

@@ -1,0 +1,150 @@
+//! Saturating event counter.
+
+use std::fmt;
+
+/// A monotonically increasing, saturating event counter.
+///
+/// Used throughout the simulator for access/hit/miss/migration counts. The
+/// counter saturates at [`u64::MAX`] instead of wrapping so that arithmetic
+/// on pathological (multi-day) runs can never silently overflow.
+///
+/// # Example
+///
+/// ```
+/// use sttgpu_stats::Counter;
+///
+/// let mut hits = Counter::new();
+/// hits.inc();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments the counter by one.
+    pub fn inc(&mut self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the counter, saturating at `u64::MAX`.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Returns the current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Returns the count as an `f64`, convenient for ratio computations.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Returns `self / other` as a fraction, or 0.0 when `other` is zero.
+    ///
+    /// Handy for hit rates: `hits.ratio_of(accesses)`.
+    pub fn ratio_of(self, other: Counter) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+}
+
+impl From<u64> for Counter {
+    fn from(v: u64) -> Self {
+        Counter(v)
+    }
+}
+
+impl From<Counter> for u64 {
+    fn from(c: Counter) -> Self {
+        c.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::ops::AddAssign<u64> for Counter {
+    fn add_assign(&mut self, rhs: u64) {
+        self.add(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(Counter::new().get(), 0);
+        assert_eq!(Counter::default().get(), 0);
+    }
+
+    #[test]
+    fn inc_and_add() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn add_assign_operator() {
+        let mut c = Counter::new();
+        c += 5;
+        c += 7;
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn saturates_instead_of_wrapping() {
+        let mut c = Counter::from(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut c = Counter::from(9);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn ratio_of_handles_zero_denominator() {
+        let hits = Counter::from(10);
+        assert_eq!(hits.ratio_of(Counter::new()), 0.0);
+        assert!((hits.ratio_of(Counter::from(20)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let c = Counter::from(7);
+        let v: u64 = c.into();
+        assert_eq!(v, 7);
+        assert_eq!(c.as_f64(), 7.0);
+    }
+
+    #[test]
+    fn display_matches_u64() {
+        assert_eq!(Counter::from(123).to_string(), "123");
+    }
+}

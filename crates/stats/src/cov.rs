@@ -1,0 +1,166 @@
+//! Inter-set and intra-set write-variation metrics (Fig. 3).
+//!
+//! The paper adopts the coefficient-of-variation formulation of
+//! i2WAP (Wang et al., HPCA 2013) to quantify how unevenly writes are
+//! distributed over the L2's cache blocks:
+//!
+//! * **inter-set variation** — how much the *average* write count of each
+//!   set deviates across sets, and
+//! * **intra-set variation** — how much individual ways deviate *within*
+//!   their set, averaged over sets.
+//!
+//! Both are normalised by the grand mean write count so that values are
+//! comparable across workloads with very different write volumes.
+
+use crate::RunningStats;
+
+/// Coefficient of variation (population std-dev divided by mean) of a
+/// sample slice. Returns 0.0 for empty input or zero mean.
+///
+/// # Example
+///
+/// ```
+/// use sttgpu_stats::coefficient_of_variation;
+///
+/// assert_eq!(coefficient_of_variation(&[5.0, 5.0, 5.0]), 0.0);
+/// assert!(coefficient_of_variation(&[0.0, 10.0]) > 0.9);
+/// ```
+pub fn coefficient_of_variation(samples: &[f64]) -> f64 {
+    let rs: RunningStats = samples.iter().copied().collect();
+    rs.cov()
+}
+
+/// Inter-set and intra-set write variation of a per-line write-count matrix.
+///
+/// Produced from `counts[set][way]` matrices collected by the L2 model;
+/// this is the quantity plotted per workload in Fig. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WriteVariation {
+    /// Variation of per-set average write counts across sets, normalised by
+    /// the grand mean (i2WAP "InterV").
+    pub inter_set: f64,
+    /// Average over sets of the within-set write-count standard deviation,
+    /// normalised by the grand mean (i2WAP "IntraV").
+    pub intra_set: f64,
+}
+
+impl WriteVariation {
+    /// Computes both metrics from a `counts[set][way]` matrix.
+    ///
+    /// Sets may have differing way counts (useful for testing); empty sets
+    /// contribute nothing. Returns all-zero metrics when the matrix carries
+    /// no writes at all.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sttgpu_stats::WriteVariation;
+    ///
+    /// // Writes concentrated in one set: inter-set variation dominates.
+    /// let skewed = WriteVariation::from_counts(&[vec![8, 8], vec![0, 0]]);
+    /// assert!(skewed.inter_set > 0.9);
+    /// assert_eq!(skewed.intra_set, 0.0);
+    ///
+    /// // Writes concentrated in one way of each set: intra-set dominates.
+    /// let lopsided = WriteVariation::from_counts(&[vec![8, 0], vec![8, 0]]);
+    /// assert_eq!(lopsided.inter_set, 0.0);
+    /// assert!(lopsided.intra_set > 0.9);
+    /// ```
+    pub fn from_counts(counts: &[Vec<u64>]) -> Self {
+        let mut grand = RunningStats::new();
+        for set in counts {
+            for &w in set {
+                grand.push(w as f64);
+            }
+        }
+        let grand_mean = grand.mean();
+        if grand.count() == 0 || grand_mean == 0.0 {
+            return WriteVariation::default();
+        }
+
+        // Inter-set: std-dev of per-set means, over the grand mean.
+        let mut set_means = RunningStats::new();
+        // Intra-set: mean of per-set std-devs, over the grand mean.
+        let mut intra_acc = RunningStats::new();
+        for set in counts {
+            if set.is_empty() {
+                continue;
+            }
+            let rs: RunningStats = set.iter().map(|&w| w as f64).collect();
+            set_means.push(rs.mean());
+            intra_acc.push(rs.population_std_dev());
+        }
+
+        WriteVariation {
+            inter_set: set_means.population_std_dev() / grand_mean,
+            intra_set: intra_acc.mean() / grand_mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_counts_have_zero_variation() {
+        let wv = WriteVariation::from_counts(&[vec![3, 3], vec![3, 3]]);
+        assert_eq!(wv.inter_set, 0.0);
+        assert_eq!(wv.intra_set, 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_zero() {
+        assert_eq!(WriteVariation::from_counts(&[]), WriteVariation::default());
+        assert_eq!(
+            WriteVariation::from_counts(&[vec![], vec![]]),
+            WriteVariation::default()
+        );
+    }
+
+    #[test]
+    fn all_zero_writes_is_zero() {
+        let wv = WriteVariation::from_counts(&[vec![0, 0], vec![0, 0]]);
+        assert_eq!(wv, WriteVariation::default());
+    }
+
+    #[test]
+    fn pure_inter_set_skew() {
+        // Set 0 gets all writes, evenly within the set.
+        let wv = WriteVariation::from_counts(&[vec![10, 10], vec![0, 0]]);
+        // Set means are 10 and 0, grand mean 5 => inter = 5/5 = 1.
+        assert!((wv.inter_set - 1.0).abs() < 1e-12);
+        assert_eq!(wv.intra_set, 0.0);
+    }
+
+    #[test]
+    fn pure_intra_set_skew() {
+        let wv = WriteVariation::from_counts(&[vec![10, 0], vec![10, 0]]);
+        // Each set: mean 5, std-dev 5; grand mean 5 => intra = 1.
+        assert_eq!(wv.inter_set, 0.0);
+        assert!((wv.intra_set - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_skew_yields_both_components() {
+        let wv = WriteVariation::from_counts(&[vec![12, 4], vec![2, 2]]);
+        assert!(wv.inter_set > 0.0);
+        assert!(wv.intra_set > 0.0);
+    }
+
+    #[test]
+    fn cov_helper_basics() {
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[1.0]), 0.0);
+        let c = coefficient_of_variation(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((c - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let a = WriteVariation::from_counts(&[vec![1, 3], vec![5, 7]]);
+        let b = WriteVariation::from_counts(&[vec![10, 30], vec![50, 70]]);
+        assert!((a.inter_set - b.inter_set).abs() < 1e-12);
+        assert!((a.intra_set - b.intra_set).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! The paper's four behavioural regions (Fig. 8a grouping).
+
+use std::fmt;
+
+/// Which resources a workload responds to (the paper groups Fig. 8a's
+/// x-axis into these regions, following the cache-sensitivity taxonomy of
+/// Lee & Kim's TAP study it cites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Region 1: insensitive to both larger L2 and larger register files.
+    Insensitive,
+    /// Region 2: at least one kernel starved for registers; larger
+    /// register files (C2/C3) raise occupancy.
+    RegisterLimited,
+    /// Region 3: register limited *and* cache friendly.
+    RegisterAndCache,
+    /// Region 4: cache friendly — larger L2 (STT baseline, C1, C3) cuts
+    /// DRAM traffic.
+    CacheFriendly,
+}
+
+impl Region {
+    /// All regions in the paper's presentation order.
+    pub const ALL: [Region; 4] = [
+        Region::Insensitive,
+        Region::RegisterLimited,
+        Region::RegisterAndCache,
+        Region::CacheFriendly,
+    ];
+
+    /// Ordinal used for figure grouping (1-based, as the paper labels).
+    pub fn index(self) -> usize {
+        match self {
+            Region::Insensitive => 1,
+            Region::RegisterLimited => 2,
+            Region::RegisterAndCache => 3,
+            Region::CacheFriendly => 4,
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Region::Insensitive => "region 1 (insensitive)",
+            Region::RegisterLimited => "region 2 (register-limited)",
+            Region::RegisterAndCache => "region 3 (register+cache)",
+            Region::CacheFriendly => "region 4 (cache-friendly)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_one_based_and_distinct() {
+        let idx: Vec<usize> = Region::ALL.iter().map(|r| r.index()).collect();
+        assert_eq!(idx, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Region::CacheFriendly.to_string().contains("cache"));
+        assert!(Region::RegisterLimited.to_string().contains("register"));
+    }
+}

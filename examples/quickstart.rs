@@ -1,0 +1,74 @@
+//! Quickstart: run one GPGPU workload on the paper's proposed two-part
+//! STT-RAM L2 (configuration C1) and on the SRAM baseline, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart [workload] [scale]
+//! ```
+
+use std::error::Error;
+
+use sttgpu::experiments::configs::{gpu_config, L2Choice};
+use sttgpu::sim::Gpu;
+use sttgpu::workloads::suite;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("bfs");
+    let scale: f64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(0.5);
+
+    let workload = suite::by_name(name)
+        .ok_or_else(|| format!("unknown workload {name:?}; try one of {:?}", suite::names()))?;
+    let workload = suite::scaled(&workload, scale);
+    println!(
+        "workload {name} (scale {scale}): {} kernels, {} thread-instructions",
+        workload.kernels.len(),
+        workload.total_thread_instructions()
+    );
+
+    // SRAM baseline GPU (GTX480-like, Table 2).
+    let mut baseline_gpu = Gpu::new(gpu_config(L2Choice::SramBaseline));
+    let baseline = baseline_gpu.run_workload(&workload, 20_000_000);
+
+    // The proposed two-part L2 at the same silicon area (C1).
+    let mut c1_gpu = Gpu::new(gpu_config(L2Choice::TwoPartC1));
+    let c1 = c1_gpu.run_workload(&workload, 20_000_000);
+
+    println!("\n                     SRAM baseline      two-part C1");
+    println!(
+        "IPC                  {:>13.1} {:>16.1}",
+        baseline.ipc(),
+        c1.ipc()
+    );
+    println!(
+        "L2 hit rate          {:>12.1}% {:>15.1}%",
+        baseline.l2.hit_rate() * 100.0,
+        c1.l2.hit_rate() * 100.0
+    );
+    println!(
+        "DRAM reads           {:>13} {:>16}",
+        baseline.dram_reads, c1.dram_reads
+    );
+    println!(
+        "L2 total power       {:>11.1}mW {:>14.1}mW",
+        baseline.l2_total_power_mw(),
+        c1.l2_total_power_mw()
+    );
+    println!(
+        "\nC1 speedup over SRAM baseline: {:.2}x",
+        c1.speedup_over(&baseline)
+    );
+
+    // Peek into the two-part internals.
+    if let Some(tp) = c1_gpu.llc().as_two_part() {
+        let s = tp.stats();
+        println!(
+            "C1 internals: {:.1}% of demand writes served by the LR part, \
+             {} HR->LR migrations, {} LR refreshes, {} buffer overflows",
+            s.lr_write_utilization() * 100.0,
+            s.migrations_to_lr,
+            s.refreshes,
+            tp.buffer_overflows()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Contrast an **even writer** (stencil) with a **concentrated writer**
+//! (kmeans) — the §4 characterisation that motivates the two-part L2.
+//!
+//! Stencil spreads writes uniformly over a large output grid, while
+//! kmeans hammers a tiny centroid array. The example reports, for both:
+//! inter/intra-set write variation (Fig. 3's metric), the LR part's share
+//! of writes, and the rewrite-interval distribution (Fig. 6's metric).
+//!
+//! ```text
+//! cargo run --release --example stencil_vs_kmeans [scale]
+//! ```
+
+use std::error::Error;
+
+use sttgpu::core::LlcModel;
+use sttgpu::experiments::configs::{gpu_config, L2Choice};
+use sttgpu::sim::Gpu;
+use sttgpu::stats::WriteVariation;
+use sttgpu::workloads::suite;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.5);
+
+    for name in ["stencil", "kmeans"] {
+        let workload = suite::scaled(&suite::by_name(name).expect("suite workload"), scale);
+
+        // Write variation on the baseline L2 (Fig. 3 methodology).
+        let mut base = Gpu::new(gpu_config(L2Choice::SramBaseline));
+        base.run_workload(&workload, 20_000_000);
+        let wv = WriteVariation::from_counts(&base.llc().write_count_matrix());
+
+        // WWS capture on the two-part C1 L2.
+        let mut c1 = Gpu::new(gpu_config(L2Choice::TwoPartC1));
+        c1.run_workload(&workload, 20_000_000);
+        let tp = c1.llc().as_two_part().expect("C1 is two-part");
+        let stats = tp.stats();
+        let hist = tp.lr_rewrite_intervals();
+
+        println!("== {name} ==");
+        println!(
+            "  write variation: inter-set {:.0}%, intra-set {:.0}%",
+            wv.inter_set * 100.0,
+            wv.intra_set * 100.0
+        );
+        println!(
+            "  LR share of demand writes: {:.1}%  (migrations {}, demotions {})",
+            stats.lr_write_utilization() * 100.0,
+            stats.migrations_to_lr,
+            stats.demotions_to_hr
+        );
+        println!(
+            "  rewrite intervals: {:.0}% <=1us, {:.0}% <=10us, {:.0}% >1ms (of {})",
+            hist.fraction(0) * 100.0,
+            hist.cumulative_fraction_at(10_000) * 100.0,
+            (1.0 - hist.cumulative_fraction_at(1_000_000)) * 100.0,
+            hist.total()
+        );
+        println!();
+    }
+    println!(
+        "The concentrated writer shows far higher write variation and sub-microsecond\n\
+         rewrites — exactly the temporal write working set the LR partition captures."
+    );
+    Ok(())
+}

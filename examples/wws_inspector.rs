@@ -1,0 +1,111 @@
+//! WWS inspector: run a workload on the two-part L2 and dump everything
+//! the architecture's internal machinery did — migrations, demotions,
+//! refreshes, expiries, swap-buffer pressure, search statistics and the
+//! energy ledger. Useful for understanding *why* a workload wins or loses
+//! on the two-part design.
+//!
+//! ```text
+//! cargo run --release --example wws_inspector [workload] [scale]
+//! ```
+
+use std::error::Error;
+
+use sttgpu::experiments::configs::{gpu_config, L2Choice};
+use sttgpu::sim::Gpu;
+use sttgpu::workloads::suite;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("kmeans");
+    let scale: f64 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(0.5);
+
+    let workload = suite::by_name(name)
+        .ok_or_else(|| format!("unknown workload {name:?}; try {:?}", suite::names()))?;
+    let workload = suite::scaled(&workload, scale);
+
+    let mut gpu = Gpu::new(gpu_config(L2Choice::TwoPartC1));
+    let metrics = gpu.run_workload(&workload, 20_000_000);
+    let tp = gpu.llc().as_two_part().expect("C1 is two-part");
+    let s = tp.stats();
+
+    println!("== {name} on C1 (192KB 2-way LR + 1344KB 7-way HR) ==");
+    println!(
+        "run: {} cycles, IPC {:.1}, L2 hit rate {:.1}%",
+        metrics.cycles,
+        metrics.ipc(),
+        metrics.l2.hit_rate() * 100.0
+    );
+
+    println!("\n-- hit breakdown --");
+    println!(
+        "  LR read hits   {:>9}    LR write hits {:>9}",
+        s.lr_read_hits, s.lr_write_hits
+    );
+    println!(
+        "  HR read hits   {:>9}    HR write hits {:>9}",
+        s.hr_read_hits, s.hr_write_hits
+    );
+    println!(
+        "  read misses    {:>9}    write misses  {:>9}",
+        s.read_misses, s.write_misses
+    );
+    println!(
+        "  sequential search resolved {:.1}% of hits on the second probe",
+        if s.lr_read_hits + s.hr_read_hits + s.lr_write_hits + s.hr_write_hits == 0 {
+            0.0
+        } else {
+            100.0 * s.second_search_hits as f64
+                / (s.lr_read_hits + s.hr_read_hits + s.lr_write_hits + s.hr_write_hits) as f64
+        }
+    );
+
+    println!("\n-- WWS machinery --");
+    println!(
+        "  LR serves {:.1}% of demand writes ({} of {})",
+        s.lr_write_utilization() * 100.0,
+        s.demand_writes_lr,
+        s.demand_writes()
+    );
+    println!(
+        "  migrations HR->LR {:>8}    demotions LR->HR {:>8}",
+        s.migrations_to_lr, s.demotions_to_hr
+    );
+    println!(
+        "  fills: {} to LR (dirty), {} to HR (clean)",
+        s.fills_to_lr, s.fills_to_hr
+    );
+    let (hr_lr_peak, lr_hr_peak) = tp.buffer_peaks();
+    println!(
+        "  swap buffers: peak occupancy {hr_lr_peak}/{lr_hr_peak} of {} blocks, {} overflows \
+         ({} forced write-backs)",
+        tp.config().buffer_blocks,
+        tp.buffer_overflows(),
+        s.overflow_writebacks
+    );
+
+    println!("\n-- retention machinery --");
+    println!(
+        "  LR refreshes {:>8}    LR expiries {:>4} (must be 0)    HR expiries {:>6}",
+        s.refreshes, s.lr_expirations, s.hr_expirations
+    );
+    let h = tp.lr_rewrite_intervals();
+    if !h.is_empty() {
+        println!(
+            "  LR rewrite intervals: {:.0}% <=1us, {:.0}% <=5us, {:.0}% <=10us ({} samples)",
+            h.fraction(0) * 100.0,
+            h.cumulative_fraction_at(5_000) * 100.0,
+            h.cumulative_fraction_at(10_000) * 100.0,
+            h.total()
+        );
+    }
+
+    println!("\n-- energy ledger --");
+    print!("{}", metrics.l2_energy);
+    println!(
+        "  => dynamic {:.1} mW, total {:.1} mW over {} us",
+        metrics.l2_dynamic_power_mw(),
+        metrics.l2_total_power_mw(),
+        metrics.elapsed_ns / 1_000
+    );
+    Ok(())
+}
