@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a PR must pass. Run from the repo root.
+#
+#   ./ci.sh            # build + tests + lints
+#   ./ci.sh --smoke    # also run a reduced-scale repro to exercise the
+#                      # parallel executor end to end
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --release --workspace"
+cargo test -q --release --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --release --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    echo "==> repro smoke run (scale 0.1, all artefacts)"
+    ./target/release/repro --scale 0.1 all > /dev/null
+fi
+
+echo "CI OK"

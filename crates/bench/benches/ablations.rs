@@ -2,19 +2,22 @@
 //! retention and LR sizing — prints all four studies and benchmarks the
 //! cheapest one.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sttgpu_experiments::ablations;
+use sttgpu_bench::harness::Criterion;
+use sttgpu_bench::{criterion_group, criterion_main};
+use sttgpu_experiments::{ablations, Executor};
 
 fn bench(c: &mut Criterion) {
     let plan = sttgpu_bench::print_plan();
-    sttgpu_bench::banner("Ablations", &ablations::render(&plan));
+    sttgpu_bench::banner("Ablations", &ablations::render(&Executor::auto(), &plan));
 
     let measure = sttgpu_bench::measure_plan();
     let mut group = c.benchmark_group("ablations");
     group.sample_size(10);
     group.bench_function("buffer_capacity_sweep", |b| {
-        b.iter(|| black_box(ablations::buffer_capacity(&measure).len()))
+        // A fresh single-job executor per iteration: memoization across
+        // iterations would otherwise zero the measurement.
+        b.iter(|| black_box(ablations::buffer_capacity(&Executor::sequential(), &measure).len()))
     });
     group.finish();
 }

@@ -1,9 +1,10 @@
 //! Component microbenchmarks: the hot paths of the cache substrate, the
 //! two-part LLC and the warp-program generator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
+use sttgpu_bench::harness::Criterion;
+use sttgpu_bench::{criterion_group, criterion_main};
 use sttgpu_cache::{AccessKind, BankArbiter, MshrTable, ReplacementPolicy, SetAssocCache};
 use sttgpu_core::{LlcModel, TwoPartConfig, TwoPartLlc};
 use sttgpu_sim::program::WarpProgram;

@@ -1,8 +1,9 @@
 //! Fig. 3: inter/intra-set write variation — prints the per-workload COV
 //! series and benchmarks one workload's COV pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sttgpu_bench::harness::Criterion;
+use sttgpu_bench::{criterion_group, criterion_main};
 use sttgpu_experiments::configs::L2Choice;
 use sttgpu_experiments::fig3;
 use sttgpu_experiments::runner::run;
@@ -10,7 +11,10 @@ use sttgpu_stats::WriteVariation;
 use sttgpu_workloads::suite;
 
 fn bench(c: &mut Criterion) {
-    let rows = fig3::compute(&sttgpu_bench::print_plan());
+    let rows = fig3::compute(
+        &sttgpu_experiments::Executor::auto(),
+        &sttgpu_bench::print_plan(),
+    );
     sttgpu_bench::banner("Fig. 3", &fig3::render(&rows));
 
     let plan = sttgpu_bench::measure_plan();

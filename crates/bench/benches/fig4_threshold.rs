@@ -1,19 +1,22 @@
 //! Fig. 4: HR write-threshold analysis — prints both normalised panels
 //! and benchmarks one threshold point.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sttgpu_experiments::fig4;
+use sttgpu_bench::harness::Criterion;
+use sttgpu_bench::{criterion_group, criterion_main};
+use sttgpu_experiments::{fig4, Executor};
 
 fn bench(c: &mut Criterion) {
-    let rows = fig4::compute(&sttgpu_bench::print_plan());
+    let rows = fig4::compute(&Executor::auto(), &sttgpu_bench::print_plan());
     sttgpu_bench::banner("Fig. 4", &fig4::render(&rows));
 
     let plan = sttgpu_bench::measure_plan();
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
     group.bench_function("threshold_sweep_point", |b| {
-        b.iter(|| black_box(fig4::compute(&plan).len()))
+        // A fresh single-job executor per iteration: memoization across
+        // iterations would otherwise zero the measurement.
+        b.iter(|| black_box(fig4::compute(&Executor::sequential(), &plan).len()))
     });
     group.finish();
 }

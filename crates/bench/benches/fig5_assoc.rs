@@ -1,19 +1,22 @@
 //! Fig. 5: LR associativity analysis — prints the normalised utilisation
 //! series and benchmarks the sweep at a reduced scale.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use sttgpu_experiments::fig5;
+use sttgpu_bench::harness::Criterion;
+use sttgpu_bench::{criterion_group, criterion_main};
+use sttgpu_experiments::{fig5, Executor};
 
 fn bench(c: &mut Criterion) {
-    let rows = fig5::compute(&sttgpu_bench::print_plan());
+    let rows = fig5::compute(&Executor::auto(), &sttgpu_bench::print_plan());
     sttgpu_bench::banner("Fig. 5", &fig5::render(&rows));
 
     let plan = sttgpu_bench::measure_plan();
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);
     group.bench_function("assoc_sweep", |b| {
-        b.iter(|| black_box(fig5::compute(&plan).len()))
+        // A fresh single-job executor per iteration: memoization across
+        // iterations would otherwise zero the measurement.
+        b.iter(|| black_box(fig5::compute(&Executor::sequential(), &plan).len()))
     });
     group.finish();
 }

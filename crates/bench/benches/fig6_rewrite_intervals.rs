@@ -1,15 +1,19 @@
 //! Fig. 6: LR rewrite-interval distribution — prints the bucket table and
 //! benchmarks one workload's histogram collection.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sttgpu_bench::harness::Criterion;
+use sttgpu_bench::{criterion_group, criterion_main};
 use sttgpu_experiments::configs::L2Choice;
 use sttgpu_experiments::fig6;
 use sttgpu_experiments::runner::run;
 use sttgpu_workloads::suite;
 
 fn bench(c: &mut Criterion) {
-    let rows = fig6::compute(&sttgpu_bench::print_plan());
+    let rows = fig6::compute(
+        &sttgpu_experiments::Executor::auto(),
+        &sttgpu_bench::print_plan(),
+    );
     sttgpu_bench::banner("Fig. 6", &fig6::render(&rows));
 
     let plan = sttgpu_bench::measure_plan();

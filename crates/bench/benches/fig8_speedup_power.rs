@@ -2,15 +2,19 @@
 //! configurations — prints all three panels and benchmarks single
 //! configuration runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sttgpu_bench::harness::Criterion;
+use sttgpu_bench::{criterion_group, criterion_main};
 use sttgpu_experiments::configs::L2Choice;
 use sttgpu_experiments::fig8;
 use sttgpu_experiments::runner::run;
 use sttgpu_workloads::suite;
 
 fn bench(c: &mut Criterion) {
-    let (rows, summary) = fig8::compute(&sttgpu_bench::print_plan());
+    let (rows, summary) = fig8::compute(
+        &sttgpu_experiments::Executor::auto(),
+        &sttgpu_bench::print_plan(),
+    );
     sttgpu_bench::banner("Fig. 8", &fig8::render(&rows, &summary));
 
     let plan = sttgpu_bench::measure_plan();

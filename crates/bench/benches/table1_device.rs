@@ -1,8 +1,9 @@
 //! Table 1: STT-RAM parameters vs. retention — prints the table and
 //! benchmarks the MTJ device-model evaluation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sttgpu_bench::harness::Criterion;
+use sttgpu_bench::{criterion_group, criterion_main};
 use sttgpu_device::mtj::{MtjDesign, RetentionTime};
 use sttgpu_experiments::table1;
 

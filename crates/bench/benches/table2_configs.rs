@@ -1,8 +1,9 @@
 //! Table 2: the five GPU configurations — prints the table and benchmarks
 //! configuration construction (area model + LLC instantiation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use sttgpu_bench::harness::Criterion;
+use sttgpu_bench::{criterion_group, criterion_main};
 use sttgpu_experiments::configs::{gpu_config, L2Choice};
 use sttgpu_experiments::table2;
 

@@ -1,17 +1,25 @@
-//! Shared helpers for the criterion bench targets.
+//! Shared helpers for the bench targets, plus a small in-tree measurement
+//! harness.
 //!
 //! Every bench target corresponds to one paper artefact: it **prints** the
 //! artefact's rows (at a reduced workload scale, so `cargo bench` stays
-//! tractable) and then lets criterion measure a representative slice of
-//! the computation. The full-scale artefacts come from the `repro` binary
+//! tractable) and then measures a representative slice of the computation.
+//! The full-scale artefacts come from the `repro` binary
 //! (`cargo run --release -p sttgpu-experiments --bin repro -- all`).
+//!
+//! The harness in [`harness`] is a drop-in for the subset of the criterion
+//! API these targets use (`bench_function`, `benchmark_group`,
+//! `criterion_group!`/`criterion_main!`), so benches build and run with no
+//! registry access.
 
 use sttgpu_experiments::RunPlan;
+
+pub mod harness;
 
 /// The workload scale used when bench targets print their artefact rows.
 pub const BENCH_PRINT_SCALE: f64 = 0.2;
 
-/// The (smaller) scale used inside criterion measurement loops.
+/// The (smaller) scale used inside measurement loops.
 pub const BENCH_MEASURE_SCALE: f64 = 0.05;
 
 /// Plan for the one-off artefact print.
@@ -22,7 +30,7 @@ pub fn print_plan() -> RunPlan {
     }
 }
 
-/// Plan for criterion-measured closures.
+/// Plan for measured closures.
 pub fn measure_plan() -> RunPlan {
     RunPlan {
         scale: BENCH_MEASURE_SCALE,

@@ -400,6 +400,13 @@ impl<M: Default> SetAssocCache<M> {
     /// Invalidates every line, returning the dirty victims (for flush).
     pub fn flush(&mut self) -> Vec<Evicted<M>> {
         let mut dirty = Vec::new();
+        self.flush_into(&mut dirty);
+        dirty
+    }
+
+    /// Like [`flush`](Self::flush) but appends the dirty victims to a
+    /// caller-owned buffer, so periodic flushes can reuse one allocation.
+    pub fn flush_into(&mut self, dirty: &mut Vec<Evicted<M>>) {
         for slot in 0..self.lines.len() {
             let line = &mut self.lines[slot];
             if line.valid {
@@ -416,7 +423,6 @@ impl<M: Default> SetAssocCache<M> {
                 }
             }
         }
-        dirty
     }
 
     /// Iterates over all lines (valid and invalid) in (set, way) order.

@@ -1,7 +1,16 @@
-//! Property-based tests for the cache substrate's invariants.
+//! Randomized property tests for the cache substrate's invariants, driven
+//! by the in-tree deterministic [`Rng`] (no external fuzzing dependency).
 
-use proptest::prelude::*;
 use sttgpu_cache::{AccessKind, MshrOutcome, MshrTable, ReplacementPolicy, SetAssocCache};
+use sttgpu_stats::Rng;
+
+/// Draws a random op trace: (op selector, line address).
+fn random_ops(rng: &mut Rng, max_addr: u64, max_len: usize) -> Vec<(u8, u64)> {
+    let len = rng.range_usize(1, max_len);
+    (0..len)
+        .map(|_| (rng.range_u32(0, 4) as u8, rng.range_u64(0, max_addr)))
+        .collect()
+}
 
 /// Applies a random mix of fills/lookups/extracts and checks structural
 /// invariants after every step.
@@ -44,59 +53,95 @@ fn run_ops(sets: usize, ways: usize, policy: ReplacementPolicy, ops: &[(u8, u64)
     }
 }
 
-proptest! {
-    /// No duplicate tags, correct set placement — under all policies.
-    #[test]
-    fn structural_invariants_lru(ops in proptest::collection::vec((0u8..4, 0u64..64), 1..300)) {
-        run_ops(4, 2, ReplacementPolicy::Lru, &ops);
+/// No duplicate tags, correct set placement — under all policies.
+#[test]
+fn structural_invariants_lru() {
+    let mut rng = Rng::new(0x10);
+    for _ in 0..40 {
+        run_ops(4, 2, ReplacementPolicy::Lru, &random_ops(&mut rng, 64, 300));
     }
+}
 
-    #[test]
-    fn structural_invariants_fifo(ops in proptest::collection::vec((0u8..4, 0u64..64), 1..300)) {
-        run_ops(4, 2, ReplacementPolicy::Fifo, &ops);
+#[test]
+fn structural_invariants_fifo() {
+    let mut rng = Rng::new(0x20);
+    for _ in 0..40 {
+        run_ops(
+            4,
+            2,
+            ReplacementPolicy::Fifo,
+            &random_ops(&mut rng, 64, 300),
+        );
     }
+}
 
-    #[test]
-    fn structural_invariants_random(ops in proptest::collection::vec((0u8..4, 0u64..64), 1..300)) {
-        run_ops(2, 4, ReplacementPolicy::Random, &ops);
+#[test]
+fn structural_invariants_random() {
+    let mut rng = Rng::new(0x30);
+    for _ in 0..40 {
+        run_ops(
+            2,
+            4,
+            ReplacementPolicy::Random,
+            &random_ops(&mut rng, 64, 300),
+        );
     }
+}
 
-    /// A fill makes the line resident; hits never change residency.
-    #[test]
-    fn fill_then_hit(addrs in proptest::collection::vec(0u64..256, 1..100)) {
+/// A fill makes the line resident; hits never change residency.
+#[test]
+fn fill_then_hit() {
+    let mut rng = Rng::new(0x40);
+    for _ in 0..40 {
         let mut c: SetAssocCache<()> = SetAssocCache::new(8, 4, 128, ReplacementPolicy::Lru);
-        for (i, &a) in addrs.iter().enumerate() {
+        let n = rng.range_usize(1, 100);
+        for i in 0..n {
+            let a = rng.range_u64(0, 256);
             c.fill(a, false, i as u64);
-            prop_assert!(c.contains(a), "line must be resident right after fill");
-            prop_assert!(c.lookup(a, AccessKind::Read, i as u64).is_some());
-            prop_assert!(c.contains(a));
+            assert!(c.contains(a), "line must be resident right after fill");
+            assert!(c.lookup(a, AccessKind::Read, i as u64).is_some());
+            assert!(c.contains(a));
         }
     }
+}
 
-    /// Hit + miss counters equal the number of lookups issued.
-    #[test]
-    fn stats_conservation(ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..200)) {
+/// Hit + miss counters equal the number of lookups issued.
+#[test]
+fn stats_conservation() {
+    let mut rng = Rng::new(0x50);
+    for _ in 0..40 {
         let mut c: SetAssocCache<()> = SetAssocCache::new(4, 2, 128, ReplacementPolicy::Lru);
         let mut lookups = 0u64;
-        for (i, &(is_write, addr)) in ops.iter().enumerate() {
-            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+        let n = rng.range_usize(1, 200);
+        for i in 0..n {
+            let addr = rng.range_u64(0, 64);
+            let kind = if rng.chance(0.5) {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             c.lookup(addr, kind, i as u64);
             lookups += 1;
-            if addr % 3 == 0 {
+            if addr.is_multiple_of(3) {
                 c.fill(addr, false, i as u64);
             }
         }
-        prop_assert_eq!(c.stats().accesses(), lookups);
-        prop_assert_eq!(c.stats().hits() + c.stats().misses(), lookups);
+        assert_eq!(c.stats().accesses(), lookups);
+        assert_eq!(c.stats().hits() + c.stats().misses(), lookups);
     }
+}
 
-    /// The number of valid lines never exceeds capacity, and evictions are
-    /// reported exactly when a valid line is displaced.
-    #[test]
-    fn eviction_accounting(addrs in proptest::collection::vec(0u64..1024, 1..300)) {
+/// The number of valid lines never exceeds capacity, and evictions are
+/// reported exactly when a valid line is displaced.
+#[test]
+fn eviction_accounting() {
+    let mut rng = Rng::new(0x60);
+    for _ in 0..40 {
         let mut c: SetAssocCache<()> = SetAssocCache::new(4, 2, 128, ReplacementPolicy::Lru);
         let mut resident = std::collections::HashSet::new();
-        for (i, &a) in addrs.iter().enumerate() {
+        let n = rng.range_usize(1, 300);
+        for i in 0..n {
+            let a = rng.range_u64(0, 1024);
             if resident.contains(&a) {
                 c.fill(a, false, i as u64);
                 continue;
@@ -104,18 +149,23 @@ proptest! {
             let evicted = c.fill(a, false, i as u64);
             resident.insert(a);
             if let Some(ev) = evicted {
-                prop_assert!(resident.remove(&ev.line_addr), "evicted a non-resident line");
+                assert!(
+                    resident.remove(&ev.line_addr),
+                    "evicted a non-resident line"
+                );
             }
-            prop_assert!(resident.len() <= c.capacity_lines());
+            assert!(resident.len() <= c.capacity_lines());
         }
         let valid = c.iter().filter(|l| l.is_valid()).count();
-        prop_assert_eq!(valid, resident.len());
+        assert_eq!(valid, resident.len());
     }
+}
 
-    /// LRU property: within a set, filling a full set evicts the line whose
-    /// last touch is oldest.
-    #[test]
-    fn lru_evicts_oldest_touch(n in 2usize..8) {
+/// LRU property: within a set, filling a full set evicts the line whose
+/// last touch is oldest.
+#[test]
+fn lru_evicts_oldest_touch() {
+    for n in 2usize..8 {
         let mut c: SetAssocCache<()> = SetAssocCache::new(1, n, 128, ReplacementPolicy::Lru);
         for a in 0..n as u64 {
             c.fill(a, false, a);
@@ -128,15 +178,21 @@ proptest! {
             t += 1;
         }
         let ev = c.fill(999, false, t).expect("set was full");
-        prop_assert_eq!(ev.line_addr, skip);
+        assert_eq!(ev.line_addr, skip);
     }
+}
 
-    /// MSHR: tokens in equal tokens out, entries drain to empty.
-    #[test]
-    fn mshr_conserves_tokens(reqs in proptest::collection::vec((0u64..16, 0u64..1000), 1..200)) {
+/// MSHR: tokens in equal tokens out, entries drain to empty.
+#[test]
+fn mshr_conserves_tokens() {
+    let mut rng = Rng::new(0x70);
+    for _ in 0..40 {
         let mut m = MshrTable::new(8, 4);
         let mut expected: std::collections::HashMap<u64, Vec<u64>> = Default::default();
-        for &(line, token) in &reqs {
+        let n = rng.range_usize(1, 200);
+        for _ in 0..n {
+            let line = rng.range_u64(0, 16);
+            let token = rng.range_u64(0, 1000);
             match m.allocate(line, token) {
                 MshrOutcome::Allocated | MshrOutcome::Merged => {
                     expected.entry(line).or_default().push(token);
@@ -147,8 +203,8 @@ proptest! {
         let lines: Vec<u64> = expected.keys().copied().collect();
         for line in lines {
             let got = m.complete(line);
-            prop_assert_eq!(got, expected.remove(&line).unwrap_or_default());
+            assert_eq!(got, expected.remove(&line).unwrap_or_default());
         }
-        prop_assert!(m.is_empty());
+        assert!(m.is_empty());
     }
 }

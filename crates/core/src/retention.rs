@@ -119,6 +119,13 @@ impl RetentionTracker {
     pub fn expiry_deadline_ns(&self, written_at_ns: u64) -> u64 {
         written_at_ns.saturating_add(self.retention_ns)
     }
+
+    /// Like [`refresh_deadline_ns`](Self::refresh_deadline_ns) but `slack`
+    /// ticks earlier: the first instant at which
+    /// [`needs_refresh_with_slack`](Self::needs_refresh_with_slack) holds.
+    pub fn refresh_deadline_with_slack_ns(&self, written_at_ns: u64, slack: u64) -> u64 {
+        written_at_ns.saturating_add(self.tick_ns * self.max_count().saturating_sub(slack))
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +189,25 @@ mod tests {
         assert!(!rc.needs_refresh_with_slack(0, 10_999, 4));
         assert!(rc.needs_refresh_with_slack(0, 11_000, 4));
         assert!(!rc.needs_refresh(0, 11_000), "lazy policy waits");
+    }
+
+    #[test]
+    fn slack_deadline_is_the_predicate_threshold() {
+        let rc = lr();
+        for slack in 0..rc.max_count() {
+            for written in [0u64, 2_000, 7_777] {
+                let deadline = rc.refresh_deadline_with_slack_ns(written, slack);
+                assert!(!rc.needs_refresh_with_slack(written, deadline - 1, slack));
+                assert!(rc.needs_refresh_with_slack(written, deadline, slack));
+            }
+        }
+        // Saturated slack: the threshold collapses to zero ticks and the
+        // deadline degenerates to the write time itself.
+        assert_eq!(rc.refresh_deadline_with_slack_ns(500, 99), 500);
+        assert_eq!(
+            rc.refresh_deadline_with_slack_ns(0, 0),
+            rc.refresh_deadline_ns(0)
+        );
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The two-part low/high-retention STT-RAM LLC — the paper's contribution.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use sttgpu_cache::{AccessKind, BankArbiter, Evicted, SetAssocCache};
 use sttgpu_device::array::{ArrayDesign, ArrayGeometry};
 use sttgpu_device::cell::MemTechnology;
@@ -26,6 +29,18 @@ pub(crate) const REWRITE_BUCKET_BOUNDS_NS: [u64; 5] = [1_000, 5_000, 10_000, 1_0
 struct RetMeta {
     written_at_ns: u64,
 }
+
+/// One pending retention deadline: `(deadline_ns, line_addr,
+/// written_at_ns)`, min-ordered by deadline inside a
+/// `BinaryHeap<Reverse<_>>`.
+///
+/// Entries use **lazy deletion**: every physical array write pushes a new
+/// entry, and a popped entry whose `written_at_ns` stamp no longer matches
+/// the line's current retention clock (the line was rewritten, refreshed,
+/// migrated or evicted since the push) is simply discarded. This turns the
+/// per-maintenance-tick cost from a full array scan into
+/// `O(due lines · log pending writes)`.
+type DeadlineEntry = Reverse<(u64, u64, u64)>;
 
 /// Counters specific to the two-part architecture.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -165,6 +180,14 @@ pub struct TwoPartLlc {
     lr_rewrite_intervals: Histogram,
     hr_rewrite_intervals: Histogram,
     next_rotation_ns: u64,
+    // Min-heaps of refresh/expiry deadlines (lazy deletion, see
+    // [`DeadlineEntry`]) so `maintain` visits only due lines instead of
+    // scanning both arrays every retention tick.
+    lr_deadlines: BinaryHeap<DeadlineEntry>,
+    hr_deadlines: BinaryHeap<DeadlineEntry>,
+    // Reused across wear-rotation epochs to keep `rotate_lr` off the
+    // allocator.
+    rotation_scratch: Vec<Evicted<RetMeta>>,
     // Cached integer timings, ns.
     lr_tag_ns: u64,
     hr_tag_ns: u64,
@@ -226,6 +249,9 @@ impl TwoPartLlc {
             lr_rewrite_intervals: Histogram::new(&REWRITE_BUCKET_BOUNDS_NS),
             hr_rewrite_intervals: Histogram::new(&REWRITE_BUCKET_BOUNDS_NS),
             next_rotation_ns: cfg.lr_rotation_period_ns.unwrap_or(u64::MAX),
+            lr_deadlines: BinaryHeap::new(),
+            hr_deadlines: BinaryHeap::new(),
+            rotation_scratch: Vec::new(),
             lr_tag_ns: lr_design.tag_latency_ns().ceil() as u64,
             hr_tag_ns: hr_design.tag_latency_ns().ceil() as u64,
             lr_read_ns: lr_design.read_latency_ns().ceil() as u64,
@@ -296,6 +322,22 @@ impl TwoPartLlc {
         self.hr_to_lr.overflows() + self.lr_to_hr.overflows()
     }
 
+    /// Records an LR array write at `written_ns`: schedules the line's
+    /// refresh deadline (slack ticks before the last retention tick).
+    fn note_lr_write(&mut self, la: u64, written_ns: u64) {
+        let deadline = self
+            .lr_rc
+            .refresh_deadline_with_slack_ns(written_ns, self.cfg.refresh_slack_ticks as u64);
+        self.lr_deadlines.push(Reverse((deadline, la, written_ns)));
+    }
+
+    /// Records an HR array write at `written_ns`: schedules the line's
+    /// expiry deadline (HR lines are never refreshed).
+    fn note_hr_write(&mut self, la: u64, written_ns: u64) {
+        let deadline = self.hr_rc.refresh_deadline_ns(written_ns);
+        self.hr_deadlines.push(Reverse((deadline, la, written_ns)));
+    }
+
     fn part_contains(&self, part: Part, la: u64) -> bool {
         match part {
             Part::Lr => self.lr.contains(la),
@@ -355,6 +397,7 @@ impl TwoPartLlc {
         if let Some(line) = self.lr.peek_mut(la) {
             line.meta.written_at_ns = now_ns;
         }
+        self.note_lr_write(la, now_ns);
         self.stats.lr_write_hits += 1;
         self.stats.demand_writes_lr += 1;
         self.stats.lr_array_writes += 1;
@@ -408,6 +451,7 @@ impl TwoPartLlc {
                     },
                     now_ns,
                 );
+                self.note_lr_write(la, now_ns);
                 if let Some(lr_victim) = evicted {
                     writebacks += self.demote(lr_victim, now_ns);
                 }
@@ -428,6 +472,7 @@ impl TwoPartLlc {
         if let Some(line) = self.hr.peek_mut(la) {
             line.meta.written_at_ns = now_ns;
         }
+        self.note_hr_write(la, now_ns);
         self.stats.demand_writes_hr += 1;
         self.stats.hr_array_writes += 1;
         self.energy
@@ -488,6 +533,7 @@ impl TwoPartLlc {
                     .deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
             }
         }
+        self.note_hr_write(victim.line_addr, now_ns);
         writebacks
     }
 
@@ -495,10 +541,12 @@ impl TwoPartLlc {
     /// wear-rotation epoch boundary.
     fn rotate_lr(&mut self, now_ns: u64) {
         self.stats.lr_rotations += 1;
-        let victims: Vec<Evicted<RetMeta>> = self.lr.flush();
-        // `flush` returns only dirty lines; clean LR lines do not exist
-        // (everything in LR arrived via a write), but be permissive.
-        for victim in victims {
+        let mut victims = std::mem::take(&mut self.rotation_scratch);
+        victims.clear();
+        self.lr.flush_into(&mut victims);
+        // `flush_into` returns only dirty lines; clean LR lines do not
+        // exist (everything in LR arrived via a write), but be permissive.
+        for victim in victims.drain(..) {
             self.energy
                 .deposit(EnergyEvent::DataRead, self.lr_design.read_energy_nj());
             self.energy
@@ -520,7 +568,9 @@ impl TwoPartLlc {
                         .deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
                 }
             }
+            self.note_hr_write(victim.line_addr, now_ns);
         }
+        self.rotation_scratch = victims;
         // A large prime stride: consecutive epochs must map the (wide)
         // hot region onto *disjoint* physical sets, which a +1 shift would
         // not achieve.
@@ -637,6 +687,7 @@ impl LlcModel for TwoPartLlc {
             ) {
                 writebacks += self.demote(victim, now_ns);
             }
+            self.note_lr_write(la, now_ns);
         } else {
             self.stats.fills_to_hr += 1;
             if dirty {
@@ -663,6 +714,7 @@ impl LlcModel for TwoPartLlc {
                         .deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
                 }
             }
+            self.note_hr_write(la, now_ns);
         }
         FillOutcome {
             ready_ns,
@@ -679,39 +731,37 @@ impl LlcModel for TwoPartLlc {
             }
         }
         // --- LR refresh engine -------------------------------------------
-        // Collect due lines first to keep the borrow checker happy.
-        let mut to_refresh = Vec::new();
-        let mut to_expire = Vec::new();
-        for line in self.lr.iter() {
-            if !line.is_valid() {
+        // Pop due deadlines instead of scanning the array; a stale stamp
+        // (the line was rewritten, refreshed or evicted since the push)
+        // discards the entry. Expiry implies the refresh deadline passed
+        // too, so one queue covers both outcomes.
+        while let Some(&Reverse((deadline, la, stamp))) = self.lr_deadlines.peek() {
+            if deadline > now_ns {
+                break;
+            }
+            self.lr_deadlines.pop();
+            let live = self
+                .lr
+                .peek(la)
+                .is_some_and(|l| l.is_valid() && l.meta.written_at_ns == stamp);
+            if !live {
                 continue;
             }
-            let written = line.meta.written_at_ns;
-            if self.lr_rc.is_expired(written, now_ns) {
-                to_expire.push(line.line_addr());
-            } else if self.lr_rc.needs_refresh_with_slack(
-                written,
-                now_ns,
-                self.cfg.refresh_slack_ticks as u64,
-            ) {
-                to_refresh.push(line.line_addr());
-            }
-        }
-        for la in to_expire {
-            // Maintenance cadence was violated: data already lost.
-            self.stats.lr_expirations += 1;
-            if let Some(victim) = self.lr.extract(la) {
-                if victim.dirty {
-                    // Account the (unrecoverable in hardware) loss as a
-                    // write-back so the simulation stays functionally
-                    // consistent; `lr_expirations` flags the violation.
-                    self.stats.writebacks += 1;
-                    self.energy
-                        .deposit(EnergyEvent::Writeback, self.lr_design.read_energy_nj());
+            if self.lr_rc.is_expired(stamp, now_ns) {
+                // Maintenance cadence was violated: data already lost.
+                self.stats.lr_expirations += 1;
+                if let Some(victim) = self.lr.extract(la) {
+                    if victim.dirty {
+                        // Account the (unrecoverable in hardware) loss as a
+                        // write-back so the simulation stays functionally
+                        // consistent; `lr_expirations` flags the violation.
+                        self.stats.writebacks += 1;
+                        self.energy
+                            .deposit(EnergyEvent::Writeback, self.lr_design.read_energy_nj());
+                    }
                 }
+                continue;
             }
-        }
-        for la in to_refresh {
             // Refresh = read the line into the LR→HR buffer, rewrite it.
             // Runs on the migration port; costs energy and a buffer slot.
             let done = now_ns + self.lr_read_ns + self.lr_write_ns;
@@ -726,6 +776,7 @@ impl LlcModel for TwoPartLlc {
                 if let Some(line) = self.lr.peek_mut(la) {
                     line.meta.written_at_ns = now_ns;
                 }
+                self.note_lr_write(la, now_ns);
             } else if let Some(victim) = self.lr.extract(la) {
                 // No buffer slot before expiry: evacuate instead of losing
                 // data — dirty lines go to DRAM, clean lines are dropped.
@@ -741,13 +792,18 @@ impl LlcModel for TwoPartLlc {
         // --- HR expiry engine --------------------------------------------
         // HR has no refresh: lines reaching the last RC tick are
         // invalidated (clean) or written back (dirty).
-        let mut hr_due = Vec::new();
-        for line in self.hr.iter() {
-            if line.is_valid() && self.hr_rc.needs_refresh(line.meta.written_at_ns, now_ns) {
-                hr_due.push(line.line_addr());
+        while let Some(&Reverse((deadline, la, stamp))) = self.hr_deadlines.peek() {
+            if deadline > now_ns {
+                break;
             }
-        }
-        for la in hr_due {
+            self.hr_deadlines.pop();
+            let live = self
+                .hr
+                .peek(la)
+                .is_some_and(|l| l.is_valid() && l.meta.written_at_ns == stamp);
+            if !live {
+                continue;
+            }
             self.stats.hr_expirations += 1;
             if let Some(victim) = self.hr.extract(la) {
                 if victim.dirty {
@@ -1104,7 +1160,11 @@ mod tests {
 
         let run = |rotate: bool| -> f64 {
             let base = TwoPartConfig::new(8, 2, 56, 7, 256);
-            let cfg = if rotate { base.with_lr_rotation_ms(0.1) } else { base };
+            let cfg = if rotate {
+                base.with_lr_rotation_ms(0.1)
+            } else {
+                base
+            };
             let mut llc = TwoPartLlc::new(cfg);
             llc.fill(hot, true, 0);
             let mut now = 1_000u64;
@@ -1130,6 +1190,116 @@ mod tests {
             rotated > plain * 1.5,
             "rotation must improve leveling: plain {plain:.4}, rotated {rotated:.4}"
         );
+    }
+
+    #[test]
+    fn rewritten_lines_are_not_refreshed_at_the_stale_deadline() {
+        let mut llc = small();
+        llc.fill(addr(1), true, 0);
+        let tick = llc.maintenance_interval_ns();
+        let retention = llc.config().lr_retention.as_nanos_u64();
+        // Rewrite mid-life: the t=0 deadline entry goes stale.
+        llc.probe(addr(1), AccessKind::Write, retention / 2);
+        llc.maintain(retention - tick / 2); // stale deadline due, fresh one not
+        assert_eq!(llc.stats().refreshes, 0, "stale entry must be discarded");
+        // The rewrite's own deadline still fires.
+        llc.maintain(retention / 2 + retention - tick / 2);
+        assert_eq!(llc.stats().refreshes, 1);
+        assert_eq!(llc.stats().lr_expirations, 0);
+    }
+
+    #[test]
+    fn evicted_lines_leave_only_stale_deadline_entries() {
+        let mut llc = small();
+        // Three dirty fills in one LR set (2-way): the LRU victim demotes
+        // to HR, leaving its LR deadline entry stale.
+        llc.fill(addr(0), true, 0);
+        llc.fill(addr(16), true, 0);
+        llc.fill(addr(32), true, 0);
+        assert_eq!(llc.stats().demotions_to_hr, 1);
+        let retention = llc.config().lr_retention.as_nanos_u64();
+        let tick = llc.maintenance_interval_ns();
+        llc.maintain(retention - tick / 2);
+        assert_eq!(
+            llc.stats().refreshes,
+            2,
+            "only the two LR-resident lines refresh"
+        );
+    }
+
+    /// The load-bearing property of the lazy-deletion deadline queues:
+    /// after every `maintain(t)`, no valid line in either part is past its
+    /// due point — exactly what the old full-array scan guaranteed.
+    #[test]
+    fn heap_maintenance_never_misses_a_due_line() {
+        for buffer_blocks in [256usize, 1] {
+            let cfg = TwoPartConfig::new(8, 2, 56, 7, 256).with_buffer_blocks(buffer_blocks);
+            let mut llc = TwoPartLlc::new(cfg);
+            let slack = llc.config().refresh_slack_ticks as u64;
+            let tick = llc.maintenance_interval_ns();
+            let mut now = 0u64;
+            let mut next_maint = tick;
+            for i in 0..30_000u64 {
+                now += 997;
+                while next_maint <= now {
+                    llc.maintain(next_maint);
+                    for line in llc.lr.iter() {
+                        assert!(
+                            !line.is_valid()
+                                || !llc.lr_rc.needs_refresh_with_slack(
+                                    line.meta.written_at_ns,
+                                    next_maint,
+                                    slack
+                                ),
+                            "LR line {:#x} past due at t={next_maint}",
+                            line.line_addr()
+                        );
+                    }
+                    for line in llc.hr.iter() {
+                        assert!(
+                            !line.is_valid()
+                                || !llc.hr_rc.needs_refresh(line.meta.written_at_ns, next_maint),
+                            "HR line {:#x} past due at t={next_maint}",
+                            line.line_addr()
+                        );
+                    }
+                    next_maint += tick;
+                }
+                let a = addr(i.wrapping_mul(7) % 500);
+                let kind = if i % 5 < 2 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                if !llc.probe(a, kind, now).hit {
+                    llc.fill(a, kind.is_write(), now + 10);
+                }
+            }
+            assert!(llc.stats().refreshes > 0, "traffic must exercise refreshes");
+
+            // Idle past the HR deadline: resident read-only lines must now
+            // expire (the traffic churn alone evicts lines long before the
+            // 3 ms HR deadline, so this phase pins the expiry path).
+            llc.fill(addr(900), false, now);
+            llc.fill(addr(901), false, now);
+            let idle_until = now + llc.config().hr_retention.as_nanos_u64() + tick;
+            while next_maint <= idle_until {
+                llc.maintain(next_maint);
+                for line in llc.hr.iter() {
+                    assert!(
+                        !line.is_valid()
+                            || !llc.hr_rc.needs_refresh(line.meta.written_at_ns, next_maint),
+                        "HR line {:#x} past due at t={next_maint}",
+                        line.line_addr()
+                    );
+                }
+                next_maint += tick;
+            }
+            assert!(
+                llc.stats().hr_expirations > 0,
+                "idle phase must exercise HR expiry"
+            );
+        }
     }
 
     #[test]

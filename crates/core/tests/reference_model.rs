@@ -8,9 +8,9 @@
 //! production buffers' admission behaviour; tests therefore use traces
 //! slow enough that buffers never overflow).
 
-use proptest::prelude::*;
 use sttgpu_cache::AccessKind;
 use sttgpu_core::{LlcModel, TwoPartConfig, TwoPartLlc};
+use sttgpu_stats::Rng;
 
 /// One set of a reference LRU cache: most-recent at the back.
 type RefSet = Vec<u64>;
@@ -126,13 +126,15 @@ fn cfg() -> TwoPartConfig {
     TwoPartConfig::new(8, 2, 56, 7, 256).with_buffer_blocks(10_000)
 }
 
-proptest! {
-    /// Production and reference agree on every hit/miss outcome and every
-    /// block's final residency.
-    #[test]
-    fn production_matches_reference(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..300), 1..600)
-    ) {
+/// Production and reference agree on every hit/miss outcome and every
+/// block's final residency.
+#[test]
+fn production_matches_reference() {
+    let mut rng = Rng::new(0xAB5);
+    for _ in 0..30 {
+        let ops: Vec<(bool, u64)> = (0..rng.range_usize(1, 600))
+            .map(|_| (rng.chance(0.5), rng.range_u64(0, 300)))
+            .collect();
         let config = cfg();
         let mut prod = TwoPartLlc::new(config.clone());
         let mut reference = RefTwoPart::new(&config);
@@ -140,10 +142,14 @@ proptest! {
         for &(is_write, line) in &ops {
             now += 50;
             let addr = line * 256;
-            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let kind = if is_write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
             let prod_hit = prod.probe(addr, kind, now).hit;
             let ref_hit = reference.probe(line, kind);
-            prop_assert_eq!(prod_hit, ref_hit, "hit mismatch on line {}", line);
+            assert_eq!(prod_hit, ref_hit, "hit mismatch on line {line}");
             if !prod_hit {
                 now += 10;
                 prod.fill(addr, is_write, now);
@@ -160,16 +166,20 @@ proptest! {
             } else {
                 RefPlace::Absent
             };
-            prop_assert_eq!(prod_place, reference.place_of(line), "line {}", line);
+            assert_eq!(prod_place, reference.place_of(line), "line {line}");
         }
     }
+}
 
-    /// Under read-only traffic the LR part stays empty and the production
-    /// model degenerates to a plain HR cache.
-    #[test]
-    fn read_only_traffic_never_populates_lr(
-        lines in proptest::collection::vec(0u64..500, 1..300)
-    ) {
+/// Under read-only traffic the LR part stays empty and the production
+/// model degenerates to a plain HR cache.
+#[test]
+fn read_only_traffic_never_populates_lr() {
+    let mut rng = Rng::new(0xCD5);
+    for _ in 0..30 {
+        let lines: Vec<u64> = (0..rng.range_usize(1, 300))
+            .map(|_| rng.range_u64(0, 500))
+            .collect();
         let mut prod = TwoPartLlc::new(cfg());
         let mut now = 1u64;
         for &line in &lines {
@@ -178,9 +188,9 @@ proptest! {
             if !prod.probe(addr, AccessKind::Read, now).hit {
                 prod.fill(addr, false, now + 10);
             }
-            prop_assert!(!prod.lr_contains(addr), "read-only block entered LR");
+            assert!(!prod.lr_contains(addr), "read-only block entered LR");
         }
-        prop_assert_eq!(prod.stats().migrations_to_lr, 0);
-        prop_assert_eq!(prod.stats().fills_to_lr, 0);
+        assert_eq!(prod.stats().migrations_to_lr, 0);
+        assert_eq!(prod.stats().fills_to_lr, 0);
     }
 }

@@ -34,7 +34,7 @@ use sttgpu_workloads::suite;
 
 use crate::configs::{gpu_config, L2Choice};
 use crate::report;
-use crate::runner::{run_config, RunPlan};
+use crate::runner::{Executor, RunPlan};
 
 fn c1_two_part() -> sttgpu_core::TwoPartConfig {
     match gpu_config(L2Choice::TwoPartC1).l2 {
@@ -63,43 +63,41 @@ pub struct SearchRow {
 }
 
 /// Runs the sequential-vs-parallel search ablation.
-pub fn search_mode(plan: &RunPlan) -> Vec<SearchRow> {
+pub fn search_mode(exec: &Executor, plan: &RunPlan) -> Vec<SearchRow> {
     use sttgpu_device::energy::EnergyEvent;
-    suite::all()
-        .iter()
-        .map(|w| {
-            let seq = run_config(
-                c1_gpu_with(c1_two_part().with_search(SearchMode::Sequential)),
-                w,
-                plan,
-            );
-            let par = run_config(
-                c1_gpu_with(c1_two_part().with_search(SearchMode::Parallel)),
-                w,
-                plan,
-            );
-            let seq_stats = seq.two_part.expect("two-part");
-            let hits = seq_stats.lr_read_hits
-                + seq_stats.hr_read_hits
-                + seq_stats.lr_write_hits
-                + seq_stats.hr_write_hits;
-            SearchRow {
-                workload: w.name.clone(),
-                ipc_ratio: par.metrics.ipc() / seq.metrics.ipc().max(1e-9),
-                tag_energy_ratio: par.metrics.l2_energy.dynamic_nj_for(EnergyEvent::TagLookup)
-                    / seq
-                        .metrics
-                        .l2_energy
-                        .dynamic_nj_for(EnergyEvent::TagLookup)
-                        .max(1e-9),
-                second_search_fraction: if hits == 0 {
-                    0.0
-                } else {
-                    seq_stats.second_search_hits as f64 / hits as f64
-                },
-            }
-        })
-        .collect()
+    let workloads = suite::all();
+    exec.map(&workloads, |w| {
+        let seq = exec.run_config(
+            c1_gpu_with(c1_two_part().with_search(SearchMode::Sequential)),
+            w,
+            plan,
+        );
+        let par = exec.run_config(
+            c1_gpu_with(c1_two_part().with_search(SearchMode::Parallel)),
+            w,
+            plan,
+        );
+        let seq_stats = seq.two_part.expect("two-part");
+        let hits = seq_stats.lr_read_hits
+            + seq_stats.hr_read_hits
+            + seq_stats.lr_write_hits
+            + seq_stats.hr_write_hits;
+        SearchRow {
+            workload: w.name.clone(),
+            ipc_ratio: par.metrics.ipc() / seq.metrics.ipc().max(1e-9),
+            tag_energy_ratio: par.metrics.l2_energy.dynamic_nj_for(EnergyEvent::TagLookup)
+                / seq
+                    .metrics
+                    .l2_energy
+                    .dynamic_nj_for(EnergyEvent::TagLookup)
+                    .max(1e-9),
+            second_search_fraction: if hits == 0 {
+                0.0
+            } else {
+                seq_stats.second_search_hits as f64 / hits as f64
+            },
+        }
+    })
 }
 
 /// Swap-buffer capacity ablation result.
@@ -118,25 +116,32 @@ pub struct BufferRow {
 /// Capacities swept by the buffer ablation.
 pub const BUFFER_SIZES: [usize; 5] = [1, 2, 5, 10, 20];
 
-/// Runs the swap-buffer sizing ablation over the write-heavy workloads.
-pub fn buffer_capacity(plan: &RunPlan) -> Vec<BufferRow> {
+/// Runs the swap-buffer sizing ablation over the write-heavy workloads,
+/// fanning every (capacity, workload) point across the executor's pool.
+pub fn buffer_capacity(exec: &Executor, plan: &RunPlan) -> Vec<BufferRow> {
     let heavy: Vec<_> = ["nw", "lbm", "mri_gridding", "kmeans"]
         .iter()
         .map(|n| suite::by_name(n).expect("suite workload"))
         .collect();
+    let points: Vec<(usize, usize)> = (0..BUFFER_SIZES.len())
+        .flat_map(|bi| (0..heavy.len()).map(move |wi| (bi, wi)))
+        .collect();
+    let outs = exec.map(&points, |&(bi, wi)| {
+        exec.run_config(
+            c1_gpu_with(c1_two_part().with_buffer_blocks(BUFFER_SIZES[bi])),
+            &heavy[wi],
+            plan,
+        )
+    });
     BUFFER_SIZES
         .iter()
-        .map(|&blocks| {
+        .enumerate()
+        .map(|(bi, &blocks)| {
             let mut overflows = 0;
             let mut overflow_writebacks = 0;
             let mut writes = 0;
-            for w in &heavy {
-                let out = run_config(
-                    c1_gpu_with(c1_two_part().with_buffer_blocks(blocks)),
-                    w,
-                    plan,
-                );
-                let tp = out.two_part.expect("two-part");
+            for wi in 0..heavy.len() {
+                let tp = outs[bi * heavy.len() + wi].two_part.expect("two-part");
                 overflow_writebacks += tp.overflow_writebacks;
                 writes += tp.demand_writes();
                 overflows += tp.overflow_writebacks; // dirty overflows
@@ -176,21 +181,30 @@ pub const HR_RETENTIONS_MS: [f64; 4] = [0.02, 0.1, 1.0, 4.0];
 /// Runs the HR-retention ablation over read-mostly workloads (where
 /// expiry hurts most). The workload is scaled up 4x so the run spans a
 /// millisecond-class interval and retention actually binds.
-pub fn hr_retention(plan: &RunPlan) -> Vec<HrRetentionRow> {
+pub fn hr_retention(exec: &Executor, plan: &RunPlan) -> Vec<HrRetentionRow> {
     let plan = &RunPlan {
         scale: plan.scale * 4.0,
         max_cycles: plan.max_cycles * 4,
     };
     let w = suite::by_name("streamcluster").expect("streamcluster");
-    let default_ipc = {
-        let out = run_config(c1_gpu_with(c1_two_part()), &w, plan);
-        out.metrics.ipc()
-    };
+    // Point 0 is the unmodified C1 (the IPC normalisation base); it goes
+    // through the memoized path, the swept retentions are ad-hoc configs.
+    let points: Vec<Option<f64>> = std::iter::once(None)
+        .chain(HR_RETENTIONS_MS.iter().map(|&ms| Some(ms)))
+        .collect();
+    let outs = exec.map(&points, |&point| match point {
+        None => exec.run(L2Choice::TwoPartC1, &w, plan),
+        Some(ms) => {
+            let tp = c1_two_part().with_hr_retention(RetentionTime::from_millis(ms));
+            exec.run_config(c1_gpu_with(tp), &w, plan)
+        }
+    });
+    let default_ipc = outs[0].metrics.ipc();
     HR_RETENTIONS_MS
         .iter()
-        .map(|&ms| {
-            let tp = c1_two_part().with_hr_retention(RetentionTime::from_millis(ms));
-            let out = run_config(c1_gpu_with(tp), &w, plan);
+        .enumerate()
+        .map(|(i, &ms)| {
+            let out = &outs[i + 1];
             let stats = out.two_part.expect("two-part");
             HrRetentionRow {
                 retention_ms: ms,
@@ -217,22 +231,36 @@ pub struct LrSizeRow {
 /// LR capacities swept, KB.
 pub const LR_SIZES_KB: [u64; 4] = [48, 96, 192, 384];
 
-/// Runs the LR sizing ablation on the most write-concentrated workloads.
-pub fn lr_size(plan: &RunPlan) -> Vec<LrSizeRow> {
+/// Runs the LR sizing ablation on the most write-concentrated workloads,
+/// fanning every (size, workload) point across the executor's pool.
+pub fn lr_size(exec: &Executor, plan: &RunPlan) -> Vec<LrSizeRow> {
     let heavy: Vec<_> = ["kmeans", "mri_gridding", "bfs"]
         .iter()
         .map(|n| suite::by_name(n).expect("suite workload"))
         .collect();
+    let points: Vec<(usize, usize)> = (0..LR_SIZES_KB.len())
+        .flat_map(|si| (0..heavy.len()).map(move |wi| (si, wi)))
+        .collect();
+    let outs = exec.map(&points, |&(si, wi)| {
+        let lr_kb = LR_SIZES_KB[si];
+        if lr_kb == 192 {
+            // 192 KB against the 1344 KB HR *is* the named C1 geometry —
+            // route it through the memoized path.
+            exec.run(L2Choice::TwoPartC1, &heavy[wi], plan)
+        } else {
+            let tp = sttgpu_core::TwoPartConfig::new(lr_kb, 2, 1344, 7, 256);
+            exec.run_config(c1_gpu_with(tp), &heavy[wi], plan)
+        }
+    });
     LR_SIZES_KB
         .iter()
-        .map(|&lr_kb| {
+        .enumerate()
+        .map(|(si, &lr_kb)| {
             let mut util = Vec::new();
             let mut demotions = 0u64;
             let mut writes = 0u64;
-            for w in &heavy {
-                let tp = sttgpu_core::TwoPartConfig::new(lr_kb, 2, 1344, 7, 256);
-                let out = run_config(c1_gpu_with(tp), w, plan);
-                let stats = out.two_part.expect("two-part");
+            for wi in 0..heavy.len() {
+                let stats = outs[si * heavy.len() + wi].two_part.expect("two-part");
                 util.push(stats.lr_write_utilization());
                 demotions += stats.demotions_to_hr;
                 writes += stats.demand_writes();
@@ -271,14 +299,14 @@ pub struct EnduranceRow {
 }
 
 /// Runs the endurance study on the write-concentrated workloads.
-pub fn endurance(plan: &RunPlan) -> Vec<EnduranceRow> {
+pub fn endurance(exec: &Executor, plan: &RunPlan) -> Vec<EnduranceRow> {
     use sttgpu_device::endurance::LifetimeEstimate;
-    ["kmeans", "mri_gridding", "tpacf", "nw"]
-        .iter()
-        .map(|name| {
+    let names = ["kmeans", "mri_gridding", "tpacf", "nw"];
+    exec.map(&names, |name| {
+        {
             let w = suite::by_name(name).expect("suite workload");
-            let stt = crate::runner::run(L2Choice::SttBaseline, &w, plan);
-            let c1 = crate::runner::run(L2Choice::TwoPartC1, &w, plan);
+            let stt = exec.run(L2Choice::SttBaseline, &w, plan);
+            let c1 = exec.run(L2Choice::TwoPartC1, &w, plan);
             let stt_est = LifetimeEstimate::from_write_matrix(
                 &stt.write_matrix,
                 stt.metrics.elapsed_ns.max(1),
@@ -294,16 +322,14 @@ pub fn endurance(plan: &RunPlan) -> Vec<EnduranceRow> {
             // simulated window; a real deployment would rotate every few
             // ms, which is the same epochs-per-lifetime ratio at scale.
             let rotation_ms = (c1.metrics.elapsed_ns as f64 / 10.0 / 1e6).max(0.001);
-            let rotated = run_config(
+            let rotated = exec.run_config(
                 c1_gpu_with(c1_two_part().with_lr_rotation_ms(rotation_ms)),
                 &w,
                 plan,
             );
             let rot_rows = &rotated.write_matrix[..lr_sets];
-            let rot_est = LifetimeEstimate::from_write_matrix(
-                rot_rows,
-                rotated.metrics.elapsed_ns.max(1),
-            );
+            let rot_est =
+                LifetimeEstimate::from_write_matrix(rot_rows, rotated.metrics.elapsed_ns.max(1));
             EnduranceRow {
                 workload: w.name.clone(),
                 stt_lifetime_years: stt_est.lifetime_years(),
@@ -313,8 +339,8 @@ pub fn endurance(plan: &RunPlan) -> Vec<EnduranceRow> {
                 rotated_lr_lifetime_years: rot_est.lifetime_years(),
                 rotated_lr_headroom: rot_est.leveling_headroom(),
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Scheduler ablation result.
@@ -329,25 +355,23 @@ pub struct SchedulerRow {
 }
 
 /// Runs the warp-scheduler ablation on a locality-sensitive subset.
-pub fn scheduler(plan: &RunPlan) -> Vec<SchedulerRow> {
+pub fn scheduler(exec: &Executor, plan: &RunPlan) -> Vec<SchedulerRow> {
     use sttgpu_sim::WarpScheduler;
-    ["stencil", "hotspot", "bfs", "streamcluster"]
-        .iter()
-        .map(|name| {
-            let w = suite::by_name(name).expect("suite workload");
-            let mut lrr_cfg = gpu_config(L2Choice::TwoPartC1);
-            lrr_cfg.scheduler = WarpScheduler::LooseRoundRobin;
-            let mut gto_cfg = gpu_config(L2Choice::TwoPartC1);
-            gto_cfg.scheduler = WarpScheduler::GreedyThenOldest;
-            let lrr = run_config(lrr_cfg, &w, plan);
-            let gto = run_config(gto_cfg, &w, plan);
-            SchedulerRow {
-                workload: w.name.clone(),
-                gto_ipc_ratio: gto.metrics.ipc() / lrr.metrics.ipc().max(1e-9),
-                l1_hit_delta_pp: (gto.metrics.l1_hit_rate() - lrr.metrics.l1_hit_rate()) * 100.0,
-            }
-        })
-        .collect()
+    let names = ["stencil", "hotspot", "bfs", "streamcluster"];
+    exec.map(&names, |name| {
+        let w = suite::by_name(name).expect("suite workload");
+        let mut lrr_cfg = gpu_config(L2Choice::TwoPartC1);
+        lrr_cfg.scheduler = WarpScheduler::LooseRoundRobin;
+        let mut gto_cfg = gpu_config(L2Choice::TwoPartC1);
+        gto_cfg.scheduler = WarpScheduler::GreedyThenOldest;
+        let lrr = exec.run_config(lrr_cfg, &w, plan);
+        let gto = exec.run_config(gto_cfg, &w, plan);
+        SchedulerRow {
+            workload: w.name.clone(),
+            gto_ipc_ratio: gto.metrics.ipc() / lrr.metrics.ipc().max(1e-9),
+            l1_hit_delta_pp: (gto.metrics.l1_hit_rate() - lrr.metrics.l1_hit_rate()) * 100.0,
+        }
+    })
 }
 
 /// EWT ablation result.
@@ -365,25 +389,24 @@ pub struct EwtRow {
 pub const EWT_SAVINGS: f64 = 0.6;
 
 /// Runs the EWT ablation on the write-heavy subset.
-pub fn ewt(plan: &RunPlan) -> Vec<EwtRow> {
-    ["nw", "lbm", "mri_gridding"]
-        .iter()
-        .map(|name| {
-            let w = suite::by_name(name).expect("suite workload");
-            let base = run_config(c1_gpu_with(c1_two_part()), &w, plan);
-            let ewt = run_config(
-                c1_gpu_with(c1_two_part().with_ewt_savings(EWT_SAVINGS)),
-                &w,
-                plan,
-            );
-            EwtRow {
-                workload: w.name.clone(),
-                dynamic_power_ratio: ewt.metrics.l2_dynamic_power_mw()
-                    / base.metrics.l2_dynamic_power_mw().max(1e-9),
-                ipc_ratio: ewt.metrics.ipc() / base.metrics.ipc().max(1e-9),
-            }
-        })
-        .collect()
+pub fn ewt(exec: &Executor, plan: &RunPlan) -> Vec<EwtRow> {
+    let names = ["nw", "lbm", "mri_gridding"];
+    exec.map(&names, |name| {
+        let w = suite::by_name(name).expect("suite workload");
+        // The EWT-off base is exactly C1 — share it via the memoized path.
+        let base = exec.run(L2Choice::TwoPartC1, &w, plan);
+        let ewt = exec.run_config(
+            c1_gpu_with(c1_two_part().with_ewt_savings(EWT_SAVINGS)),
+            &w,
+            plan,
+        );
+        EwtRow {
+            workload: w.name.clone(),
+            dynamic_power_ratio: ewt.metrics.l2_dynamic_power_mw()
+                / base.metrics.l2_dynamic_power_mw().max(1e-9),
+            ipc_ratio: ewt.metrics.ipc() / base.metrics.ipc().max(1e-9),
+        }
+    })
 }
 
 /// Refresh-timing ablation result.
@@ -404,25 +427,39 @@ pub const REFRESH_SLACKS: [u32; 4] = [0, 4, 8, 12];
 
 /// Runs the refresh-timing ablation on workloads whose LR lines linger
 /// (rare rewrites), where refresh policy actually matters.
-pub fn refresh_timing(plan: &RunPlan) -> Vec<RefreshRow> {
+pub fn refresh_timing(exec: &Executor, plan: &RunPlan) -> Vec<RefreshRow> {
     use sttgpu_device::energy::EnergyEvent;
     let lingering: Vec<_> = ["sad", "pathfinder", "streamcluster"]
         .iter()
         .map(|n| suite::by_name(n).expect("suite workload"))
         .collect();
+    let points: Vec<(usize, usize)> = (0..REFRESH_SLACKS.len())
+        .flat_map(|si| (0..lingering.len()).map(move |wi| (si, wi)))
+        .collect();
+    let outs = exec.map(&points, |&(si, wi)| {
+        let slack = REFRESH_SLACKS[si];
+        if slack == 0 {
+            // Slack 0 is the paper's default policy, i.e. plain C1 —
+            // share it via the memoized path.
+            exec.run(L2Choice::TwoPartC1, &lingering[wi], plan)
+        } else {
+            exec.run_config(
+                c1_gpu_with(c1_two_part().with_refresh_slack_ticks(slack)),
+                &lingering[wi],
+                plan,
+            )
+        }
+    });
     REFRESH_SLACKS
         .iter()
-        .map(|&slack| {
+        .enumerate()
+        .map(|(si, &slack)| {
             let mut refreshes = 0;
             let mut expirations = 0;
             let mut refresh_nj = 0.0;
             let mut total_nj = 0.0;
-            for w in &lingering {
-                let out = run_config(
-                    c1_gpu_with(c1_two_part().with_refresh_slack_ticks(slack)),
-                    w,
-                    plan,
-                );
+            for wi in 0..lingering.len() {
+                let out = &outs[si * lingering.len() + wi];
                 let tp = out.two_part.expect("two-part");
                 refreshes += tp.refreshes;
                 expirations += tp.lr_expirations;
@@ -444,11 +481,11 @@ pub fn refresh_timing(plan: &RunPlan) -> Vec<RefreshRow> {
 }
 
 /// Renders all eight ablations.
-pub fn render(plan: &RunPlan) -> String {
+pub fn render(exec: &Executor, plan: &RunPlan) -> String {
     let mut out = String::from("Ablations (beyond the paper)\n\n");
 
     out.push_str("(1) sequential vs. parallel search:\n");
-    let rows: Vec<Vec<String>> = search_mode(plan)
+    let rows: Vec<Vec<String>> = search_mode(exec, plan)
         .into_iter()
         .map(|r| {
             vec![
@@ -466,7 +503,7 @@ pub fn render(plan: &RunPlan) -> String {
     out.push('\n');
 
     out.push_str("(2) swap-buffer capacity (write-heavy subset):\n");
-    let rows: Vec<Vec<String>> = buffer_capacity(plan)
+    let rows: Vec<Vec<String>> = buffer_capacity(exec, plan)
         .into_iter()
         .map(|r| {
             vec![
@@ -483,7 +520,7 @@ pub fn render(plan: &RunPlan) -> String {
     out.push('\n');
 
     out.push_str("(3) HR retention (streamcluster):\n");
-    let rows: Vec<Vec<String>> = hr_retention(plan)
+    let rows: Vec<Vec<String>> = hr_retention(exec, plan)
         .into_iter()
         .map(|r| {
             vec![
@@ -501,7 +538,7 @@ pub fn render(plan: &RunPlan) -> String {
     out.push('\n');
 
     out.push_str("(4) LR capacity (HR fixed at 1344 KB, write-hot subset):\n");
-    let rows: Vec<Vec<String>> = lr_size(plan)
+    let rows: Vec<Vec<String>> = lr_size(exec, plan)
         .into_iter()
         .map(|r| {
             vec![
@@ -529,7 +566,7 @@ pub fn render(plan: &RunPlan) -> String {
             format!("{:.1}h", y * 365.25 * 24.0)
         }
     };
-    let rows: Vec<Vec<String>> = endurance(plan)
+    let rows: Vec<Vec<String>> = endurance(exec, plan)
         .into_iter()
         .map(|r| {
             let ratio = if r.stt_lifetime_years > 0.0 {
@@ -572,7 +609,7 @@ pub fn render(plan: &RunPlan) -> String {
     out.push('\n');
 
     out.push_str("(6) warp scheduler: GTO vs. loose round-robin on C1:\n");
-    let rows: Vec<Vec<String>> = scheduler(plan)
+    let rows: Vec<Vec<String>> = scheduler(exec, plan)
         .into_iter()
         .map(|r| {
             vec![
@@ -592,7 +629,7 @@ pub fn render(plan: &RunPlan) -> String {
         "(7) early write termination ({}% savings) on C1, write-heavy subset:\n",
         (EWT_SAVINGS * 100.0) as u32
     ));
-    let rows: Vec<Vec<String>> = ewt(plan)
+    let rows: Vec<Vec<String>> = ewt(exec, plan)
         .into_iter()
         .map(|r| {
             vec![
@@ -609,7 +646,7 @@ pub fn render(plan: &RunPlan) -> String {
     out.push('\n');
 
     out.push_str("(8) refresh timing: slack ticks before the RC deadline (0 = paper):\n");
-    let rows: Vec<Vec<String>> = refresh_timing(plan)
+    let rows: Vec<Vec<String>> = refresh_timing(exec, plan)
         .into_iter()
         .map(|r| {
             vec![
@@ -635,6 +672,7 @@ pub fn render(plan: &RunPlan) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_config;
 
     fn tiny_plan() -> RunPlan {
         RunPlan {
@@ -672,7 +710,7 @@ mod tests {
             scale: 0.2,
             max_cycles: 6_000_000,
         };
-        let rows = endurance(&plan);
+        let rows = endurance(&Executor::auto(), &plan);
         // Across the write-hot subset, rotation must improve leveling
         // headroom on the concentrated writers (where it matters).
         let improved = rows
@@ -691,7 +729,7 @@ mod tests {
             scale: 0.2,
             max_cycles: 6_000_000,
         };
-        let rows = refresh_timing(&plan);
+        let rows = refresh_timing(&Executor::auto(), &plan);
         let lazy = rows.iter().find(|r| r.slack_ticks == 0).expect("slack 0");
         let eager = rows.iter().find(|r| r.slack_ticks == 12).expect("slack 12");
         assert!(
@@ -710,7 +748,7 @@ mod tests {
     #[test]
     fn ewt_cuts_dynamic_power_without_touching_ipc() {
         let plan = tiny_plan();
-        let rows = ewt(&plan);
+        let rows = ewt(&Executor::auto(), &plan);
         for r in &rows {
             assert!(
                 r.dynamic_power_ratio < 1.0,
@@ -730,7 +768,7 @@ mod tests {
     #[test]
     fn tiny_buffers_overflow_big_buffers_do_not() {
         let plan = tiny_plan();
-        let rows = buffer_capacity(&plan);
+        let rows = buffer_capacity(&Executor::auto(), &plan);
         let one = rows.iter().find(|r| r.blocks == 1).expect("1-block row");
         let twenty = rows.iter().find(|r| r.blocks == 20).expect("20-block row");
         assert!(

@@ -18,7 +18,7 @@ use sttgpu_device::endurance::LifetimeEstimate;
 use sttgpu_device::mtj::RetentionTime;
 use sttgpu_experiments::configs::{gpu_config, L2Choice};
 use sttgpu_experiments::report;
-use sttgpu_experiments::runner::{run, run_config, RunPlan};
+use sttgpu_experiments::runner::{Executor, RunPlan};
 use sttgpu_sim::L2ModelConfig;
 use sttgpu_workloads::suite;
 
@@ -29,6 +29,7 @@ struct Options {
     lr_retention_us: Vec<f64>,
     hr_retention_ms: f64,
     hr_kb: u64,
+    jobs: Option<usize>,
 }
 
 impl Default for Options {
@@ -40,6 +41,7 @@ impl Default for Options {
             lr_retention_us: vec![10.0, 26.5, 100.0],
             hr_retention_ms: 4.0,
             hr_kb: 1344,
+            jobs: None,
         }
     }
 }
@@ -81,6 +83,15 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "bad --hr-kb".to_owned())?
             }
+            "--jobs" => {
+                let n: usize = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "bad --jobs".to_owned())?;
+                if n == 0 {
+                    return Err("bad --jobs".to_owned());
+                }
+                opts.jobs = Some(n);
+            }
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument {other}")),
         }
@@ -96,7 +107,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: explore [--workload NAME] [--scale F] [--lr-kb A,B,..]\n\
+                "usage: explore [--workload NAME] [--scale F] [--jobs N] [--lr-kb A,B,..]\n\
                  \t[--lr-retention-us A,B,..] [--hr-retention-ms X] [--hr-kb N]"
             );
             return ExitCode::FAILURE;
@@ -116,8 +127,13 @@ fn main() -> ExitCode {
         max_cycles: 20_000_000,
     };
 
+    let exec = match opts.jobs {
+        Some(n) => Executor::new(n),
+        None => Executor::auto(),
+    };
+
     // Baseline for normalisation.
-    let base = run(L2Choice::SramBaseline, &workload, &plan);
+    let base = exec.run(L2Choice::SramBaseline, &workload, &plan);
     let base_ipc = base.metrics.ipc();
     let base_power = base.metrics.l2_total_power_mw();
     println!(
@@ -125,43 +141,50 @@ fn main() -> ExitCode {
         opts.workload, opts.scale, base_ipc, base_power
     );
     println!(
-        "sweeping {} LR sizes x {} LR retentions against {} KB HR @ {} ms\n",
+        "sweeping {} LR sizes x {} LR retentions against {} KB HR @ {} ms on {} jobs\n",
         opts.lr_kb.len(),
         opts.lr_retention_us.len(),
         opts.hr_kb,
-        opts.hr_retention_ms
+        opts.hr_retention_ms,
+        exec.jobs()
     );
 
-    let mut rows = Vec::new();
-    for &lr_kb in &opts.lr_kb {
-        for &ret_us in &opts.lr_retention_us {
-            let tp = TwoPartConfig::new(lr_kb, 2, opts.hr_kb, 7, 256)
-                .with_lr_retention(RetentionTime::from_micros(ret_us))
-                .with_hr_retention(RetentionTime::from_millis(opts.hr_retention_ms));
-            let mut cfg = gpu_config(L2Choice::TwoPartC1);
-            cfg.l2 = L2ModelConfig::TwoPart(tp.clone());
-            let out = run_config(cfg, &workload, &plan);
-            let stats = out.two_part.expect("two-part");
-            let lr_rows = tp.lr_sets() as usize;
-            let lifetime = LifetimeEstimate::from_write_matrix(
-                &out.write_matrix[..lr_rows],
-                out.metrics.elapsed_ns.max(1),
-            );
-            rows.push(vec![
-                format!("{lr_kb}KB @ {ret_us}us"),
-                report::ratio(out.metrics.ipc() / base_ipc.max(1e-9)),
-                report::pct(out.metrics.l2.hit_rate()),
-                report::ratio(out.metrics.l2_total_power_mw() / base_power.max(1e-9)),
-                stats.refreshes.to_string(),
-                report::pct(stats.lr_write_utilization()),
-                if lifetime.lifetime_years().is_infinite() {
-                    "inf".to_owned()
-                } else {
-                    format!("{:.2}", lifetime.lifetime_years())
-                },
-            ]);
-        }
-    }
+    let points: Vec<(u64, f64)> = opts
+        .lr_kb
+        .iter()
+        .flat_map(|&lr_kb| {
+            opts.lr_retention_us
+                .iter()
+                .map(move |&ret_us| (lr_kb, ret_us))
+        })
+        .collect();
+    let rows: Vec<Vec<String>> = exec.map(&points, |&(lr_kb, ret_us)| {
+        let tp = TwoPartConfig::new(lr_kb, 2, opts.hr_kb, 7, 256)
+            .with_lr_retention(RetentionTime::from_micros(ret_us))
+            .with_hr_retention(RetentionTime::from_millis(opts.hr_retention_ms));
+        let mut cfg = gpu_config(L2Choice::TwoPartC1);
+        cfg.l2 = L2ModelConfig::TwoPart(tp.clone());
+        let out = exec.run_config(cfg, &workload, &plan);
+        let stats = out.two_part.expect("two-part");
+        let lr_rows = tp.lr_sets() as usize;
+        let lifetime = LifetimeEstimate::from_write_matrix(
+            &out.write_matrix[..lr_rows],
+            out.metrics.elapsed_ns.max(1),
+        );
+        vec![
+            format!("{lr_kb}KB @ {ret_us}us"),
+            report::ratio(out.metrics.ipc() / base_ipc.max(1e-9)),
+            report::pct(out.metrics.l2.hit_rate()),
+            report::ratio(out.metrics.l2_total_power_mw() / base_power.max(1e-9)),
+            stats.refreshes.to_string(),
+            report::pct(stats.lr_write_utilization()),
+            if lifetime.lifetime_years().is_infinite() {
+                "inf".to_owned()
+            } else {
+                format!("{:.2}", lifetime.lifetime_years())
+            },
+        ]
+    });
     println!(
         "{}",
         report::table(

@@ -5,16 +5,25 @@
 //! repro fig8              # one artefact
 //! repro fig8 --scale 0.25 # reduced-scale quick look
 //! repro --quick all       # scale 0.25 everywhere
+//! repro --jobs 8 all      # executor thread count (default: all cores)
 //! repro --out results all # also write <artefact>.txt/.csv under results/
 //! ```
+//!
+//! All artefacts share one [`Executor`], so a simulation needed by several
+//! of them — e.g. the SRAM-baseline suite (fig3, fig8, workloads) or the
+//! C1 suite (fig4 TH1, fig5 2-way, fig6, fig8, ablations) — runs exactly
+//! once. The run summary printed at the end reports executed runs vs.
+//! cache hits and simulated-cycle throughput; the same numbers plus
+//! per-artefact wall-clock timings land in `BENCH_repro.json`.
 
 use std::env;
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use sttgpu_experiments::{
-    ablations, fig3, fig4, fig5, fig6, fig8, table1, table2, workload_table, RunPlan,
+    ablations, fig3, fig4, fig5, fig6, fig8, table1, table2, workload_table, Executor, RunPlan,
 };
 
 const ARTEFACTS: [&str; 9] = [
@@ -31,54 +40,89 @@ const ARTEFACTS: [&str; 9] = [
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--quick] [--scale F] [--out DIR] <all|{}> ...",
+        "usage: repro [--quick] [--scale F] [--jobs N] [--out DIR] <all|{}> ...",
         ARTEFACTS.join("|")
     );
     ExitCode::FAILURE
 }
 
 /// Computes one artefact: the rendered text plus, where meaningful, a CSV.
-fn run_artefact(name: &str, plan: &RunPlan) -> Option<(String, Option<String>)> {
+fn run_artefact(name: &str, exec: &Executor, plan: &RunPlan) -> Option<(String, Option<String>)> {
     let (text, csv) = match name {
         "table1" => (table1::render(), Some(table1::to_csv())),
         "table2" => (table2::render(), Some(table2::to_csv())),
         "workloads" => {
-            let rows = workload_table::compute(plan);
+            let rows = workload_table::compute(exec, plan);
             (
                 workload_table::render(&rows),
                 Some(workload_table::to_csv(&rows)),
             )
         }
         "fig3" => {
-            let rows = fig3::compute(plan);
+            let rows = fig3::compute(exec, plan);
             (fig3::render(&rows), Some(fig3::to_csv(&rows)))
         }
         "fig4" => {
-            let rows = fig4::compute(plan);
+            let rows = fig4::compute(exec, plan);
             (fig4::render(&rows), Some(fig4::to_csv(&rows)))
         }
         "fig5" => {
-            let rows = fig5::compute(plan);
+            let rows = fig5::compute(exec, plan);
             (fig5::render(&rows), Some(fig5::to_csv(&rows)))
         }
         "fig6" => {
-            let rows = fig6::compute(plan);
+            let rows = fig6::compute(exec, plan);
             (fig6::render(&rows), Some(fig6::to_csv(&rows)))
         }
         "fig8" => {
-            let (rows, summary) = fig8::compute(plan);
+            let (rows, summary) = fig8::compute(exec, plan);
             (fig8::render(&rows, &summary), Some(fig8::to_csv(&rows)))
         }
-        "ablations" => (ablations::render(plan), None),
+        "ablations" => (ablations::render(exec, plan), None),
         _ => return None,
     };
     Some((text, csv))
+}
+
+/// Hand-rolled JSON for the timing report (no serde in the tree).
+fn bench_json(
+    jobs: usize,
+    plan: &RunPlan,
+    timings: &[(String, f64)],
+    stats: sttgpu_experiments::ExecutorStats,
+    total_s: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"scale\": {},\n", plan.scale));
+    out.push_str(&format!("  \"max_cycles\": {},\n", plan.max_cycles));
+    out.push_str(&format!("  \"wall_clock_s\": {total_s:.3},\n"));
+    out.push_str(&format!("  \"runs_executed\": {},\n", stats.runs_executed));
+    out.push_str(&format!("  \"cache_hits\": {},\n", stats.cache_hits));
+    out.push_str(&format!(
+        "  \"cycles_simulated\": {},\n",
+        stats.cycles_simulated
+    ));
+    out.push_str(&format!(
+        "  \"cycles_per_second\": {:.0},\n",
+        stats.cycles_simulated as f64 / total_s.max(1e-9)
+    ));
+    out.push_str("  \"artefacts\": [\n");
+    for (i, (name, secs)) in timings.iter().enumerate() {
+        let comma = if i + 1 == timings.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"wall_clock_s\": {secs:.3}}}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn main() -> ExitCode {
     let mut plan = RunPlan::full();
     let mut targets: Vec<String> = Vec::new();
     let mut out_dir: Option<PathBuf> = None;
+    let mut jobs: Option<usize> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -91,6 +135,15 @@ fn main() -> ExitCode {
                     return usage();
                 }
                 plan = plan.with_scale(v);
+            }
+            "--jobs" => {
+                let Some(n) = args.next().and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                if n == 0 {
+                    return usage();
+                }
+                jobs = Some(n);
             }
             "--out" => {
                 let Some(dir) = args.next() else {
@@ -111,9 +164,16 @@ fn main() -> ExitCode {
     if targets.iter().any(|t| t == "all") {
         targets = ARTEFACTS.iter().map(|s| s.to_string()).collect();
     }
+    let exec = match jobs {
+        Some(n) => Executor::new(n),
+        None => Executor::auto(),
+    };
     eprintln!(
-        "# repro: scale={} max_cycles={} artefacts={:?}",
-        plan.scale, plan.max_cycles, targets
+        "# repro: scale={} max_cycles={} jobs={} artefacts={:?}",
+        plan.scale,
+        plan.max_cycles,
+        exec.jobs(),
+        targets
     );
     if let Some(dir) = &out_dir {
         if let Err(e) = fs::create_dir_all(dir) {
@@ -121,9 +181,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let started_all = Instant::now();
+    let mut timings: Vec<(String, f64)> = Vec::new();
     for t in &targets {
-        let started = std::time::Instant::now();
-        let Some((text, csv)) = run_artefact(t, &plan) else {
+        let started = Instant::now();
+        let Some((text, csv)) = run_artefact(t, &exec, &plan) else {
             eprintln!("unknown artefact: {t}");
             return usage();
         };
@@ -140,7 +202,31 @@ fn main() -> ExitCode {
                 }
             }
         }
-        eprintln!("# {t} done in {:.1}s", started.elapsed().as_secs_f64());
+        let secs = started.elapsed().as_secs_f64();
+        eprintln!("# {t} done in {secs:.1}s");
+        timings.push((t.clone(), secs));
     }
+    let total_s = started_all.elapsed().as_secs_f64();
+    let stats = exec.stats();
+    eprintln!(
+        "# total {:.1}s on {} jobs: {} runs executed, {} served from cache, \
+         {:.1}M cycles simulated ({:.2}M cycles/s)",
+        total_s,
+        exec.jobs(),
+        stats.runs_executed,
+        stats.cache_hits,
+        stats.cycles_simulated as f64 / 1e6,
+        stats.cycles_simulated as f64 / 1e6 / total_s.max(1e-9)
+    );
+    let json = bench_json(exec.jobs(), &plan, &timings, stats, total_s);
+    let bench_path = out_dir
+        .as_deref()
+        .map(|d| d.join("BENCH_repro.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_repro.json"));
+    if let Err(e) = fs::write(&bench_path, json) {
+        eprintln!("cannot write {}: {e}", bench_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# timings written to {}", bench_path.display());
     ExitCode::SUCCESS
 }

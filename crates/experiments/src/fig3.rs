@@ -11,7 +11,7 @@ use sttgpu_workloads::suite;
 
 use crate::configs::L2Choice;
 use crate::report;
-use crate::runner::{run, RunPlan};
+use crate::runner::{Executor, RunPlan};
 
 /// One bar pair of Fig. 3.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,19 +25,17 @@ pub struct Fig3Row {
 }
 
 /// Runs the whole suite and computes both COV metrics per workload.
-pub fn compute(plan: &RunPlan) -> Vec<Fig3Row> {
-    suite::all()
-        .iter()
-        .map(|w| {
-            let out = run(L2Choice::SramBaseline, w, plan);
-            let wv = WriteVariation::from_counts(&out.write_matrix);
-            Fig3Row {
-                workload: w.name.clone(),
-                inter_set: wv.inter_set,
-                intra_set: wv.intra_set,
-            }
-        })
-        .collect()
+pub fn compute(exec: &Executor, plan: &RunPlan) -> Vec<Fig3Row> {
+    let workloads = suite::all();
+    exec.map(&workloads, |w| {
+        let out = exec.run(L2Choice::SramBaseline, w, plan);
+        let wv = WriteVariation::from_counts(&out.write_matrix);
+        Fig3Row {
+            workload: w.name.clone(),
+            inter_set: wv.inter_set,
+            intra_set: wv.intra_set,
+        }
+    })
 }
 
 /// Renders the figure as a table (values in percent, as the paper's axis).
@@ -96,7 +94,7 @@ mod tests {
             scale: 0.08,
             max_cycles: 3_000_000,
         };
-        let rows = compute(&plan);
+        let rows = compute(&Executor::auto(), &plan);
         let get = |name: &str| {
             rows.iter()
                 .find(|r| r.workload == name)

@@ -10,7 +10,7 @@ use sttgpu_workloads::suite;
 
 use crate::configs::{gpu_config, L2Choice};
 use crate::report;
-use crate::runner::{run_config, RunPlan};
+use crate::runner::{Executor, RunPlan};
 use sttgpu_core::TwoPartConfig;
 use sttgpu_sim::L2ModelConfig;
 
@@ -39,18 +39,35 @@ fn c1_with_threshold(th: u32) -> sttgpu_sim::GpuConfig {
     cfg
 }
 
-/// Runs the sweep for the whole suite.
-pub fn compute(plan: &RunPlan) -> Vec<Fig4Row> {
-    suite::all()
+/// Runs the sweep for the whole suite, fanning every (workload, TH)
+/// point across the executor's pool.
+pub fn compute(exec: &Executor, plan: &RunPlan) -> Vec<Fig4Row> {
+    let workloads = suite::all();
+    let points: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|wi| (0..THRESHOLDS.len()).map(move |ti| (wi, ti)))
+        .collect();
+    let outs = exec.map(&points, |&(wi, ti)| {
+        let w = &workloads[wi];
+        let th = THRESHOLDS[ti];
+        if th == 1 {
+            // TH = 1 *is* the named C1 configuration — route it through
+            // the memoized path so fig6/fig8 share the same run.
+            exec.run(L2Choice::TwoPartC1, w, plan)
+        } else {
+            exec.run_config(c1_with_threshold(th), w, plan)
+        }
+    });
+    workloads
         .iter()
-        .map(|w| {
+        .enumerate()
+        .map(|(wi, w)| {
             let mut ratios = [0.0f64; 4];
             let mut writes = [0.0f64; 4];
-            for (i, &th) in THRESHOLDS.iter().enumerate() {
-                let out = run_config(c1_with_threshold(th), w, plan);
+            for ti in 0..THRESHOLDS.len() {
+                let out = &outs[wi * THRESHOLDS.len() + ti];
                 let tp = out.two_part.expect("C1 is two-part");
-                ratios[i] = tp.lr_to_hr_write_ratio();
-                writes[i] = tp.total_array_writes() as f64;
+                ratios[ti] = tp.lr_to_hr_write_ratio();
+                writes[ti] = tp.total_array_writes() as f64;
             }
             let base_ratio = if ratios[0] > 0.0 { ratios[0] } else { 1.0 };
             let base_writes = if writes[0] > 0.0 { writes[0] } else { 1.0 };
@@ -136,10 +153,11 @@ mod tests {
             max_cycles: 3_000_000,
         };
         // A write-hot subset is enough to check the trend cheaply.
+        let exec = Executor::sequential();
         let w = suite::by_name("nw").expect("nw");
         let mut ratios = Vec::new();
         for th in THRESHOLDS {
-            let out = run_config(c1_with_threshold(th), &w, &plan);
+            let out = exec.run_config(c1_with_threshold(th), &w, &plan);
             ratios.push(out.two_part.expect("two-part").lr_to_hr_write_ratio());
         }
         assert!(

@@ -10,7 +10,7 @@ use sttgpu_workloads::suite;
 
 use crate::configs::{gpu_config, L2Choice};
 use crate::report;
-use crate::runner::{run_config, RunPlan};
+use crate::runner::{Executor, RunPlan};
 use sttgpu_sim::L2ModelConfig;
 
 /// The swept way counts; `None` stands for fully associative.
@@ -39,21 +39,48 @@ fn c1_with_lr_ways(ways: Option<u32>) -> sttgpu_sim::GpuConfig {
     cfg
 }
 
-fn lr_utilization(cfg: sttgpu_sim::GpuConfig, w: &sttgpu_sim::Workload, plan: &RunPlan) -> f64 {
-    let out = run_config(cfg, w, plan);
+fn lr_utilization(
+    exec: &Executor,
+    cfg: sttgpu_sim::GpuConfig,
+    w: &sttgpu_sim::Workload,
+    plan: &RunPlan,
+) -> f64 {
+    let out = exec.run_config(cfg, w, plan);
     out.two_part.expect("two-part").direct_lr_write_hit_rate()
 }
 
-/// Runs the sweep for the whole suite.
-pub fn compute(plan: &RunPlan) -> Vec<Fig5Row> {
-    suite::all()
+/// Runs the sweep for the whole suite, fanning every (workload, ways)
+/// point across the executor's pool. Point 0 of each workload is the
+/// fully-associative normalisation base.
+pub fn compute(exec: &Executor, plan: &RunPlan) -> Vec<Fig5Row> {
+    let workloads = suite::all();
+    const POINTS_PER_WORKLOAD: usize = WAYS.len() + 1;
+    let points: Vec<(usize, Option<u32>)> = (0..workloads.len())
+        .flat_map(|wi| {
+            std::iter::once((wi, None)).chain(WAYS.iter().map(move |&ways| (wi, Some(ways))))
+        })
+        .collect();
+    let utils = exec.map(&points, |&(wi, ways)| {
+        let w = &workloads[wi];
+        if ways == Some(2) {
+            // 2-way LR *is* the named C1 configuration — route it through
+            // the memoized path so fig6/fig8 share the same run.
+            let out = exec.run(L2Choice::TwoPartC1, w, plan);
+            out.two_part.expect("two-part").direct_lr_write_hit_rate()
+        } else {
+            lr_utilization(exec, c1_with_lr_ways(ways), w, plan)
+        }
+    });
+    workloads
         .iter()
-        .map(|w| {
-            let full = lr_utilization(c1_with_lr_ways(None), w, plan);
+        .enumerate()
+        .map(|(wi, w)| {
+            let base_idx = wi * POINTS_PER_WORKLOAD;
+            let full = utils[base_idx];
             let base = if full > 0.0 { full } else { 1.0 };
             let mut norm = [0.0f64; 5];
-            for (i, &ways) in WAYS.iter().enumerate() {
-                norm[i] = lr_utilization(c1_with_lr_ways(Some(ways)), w, plan) / base;
+            for (i, slot) in norm.iter_mut().enumerate() {
+                *slot = utils[base_idx + 1 + i] / base;
             }
             Fig5Row {
                 workload: w.name.clone(),
@@ -126,10 +153,11 @@ mod tests {
             scale: 0.06,
             max_cycles: 3_000_000,
         };
+        let exec = Executor::sequential();
         let w = suite::by_name("kmeans").expect("kmeans");
-        let full = lr_utilization(c1_with_lr_ways(None), &w, &plan);
-        let one = lr_utilization(c1_with_lr_ways(Some(1)), &w, &plan);
-        let two = lr_utilization(c1_with_lr_ways(Some(2)), &w, &plan);
+        let full = lr_utilization(&exec, c1_with_lr_ways(None), &w, &plan);
+        let one = lr_utilization(&exec, c1_with_lr_ways(Some(1)), &w, &plan);
+        let two = lr_utilization(&exec, c1_with_lr_ways(Some(2)), &w, &plan);
         assert!(full > 0.0, "kmeans must exercise the LR part");
         assert!(
             two >= one * 0.99,

@@ -10,7 +10,7 @@ use sttgpu_workloads::suite;
 
 use crate::configs::L2Choice;
 use crate::report;
-use crate::runner::{run, RunPlan};
+use crate::runner::{Executor, RunPlan};
 
 /// Bucket labels, matching [`sttgpu_core`]'s rewrite-interval histogram
 /// layout.
@@ -29,22 +29,20 @@ pub struct Fig6Row {
 }
 
 /// Runs the suite on C1 and collects LR rewrite-interval distributions.
-pub fn compute(plan: &RunPlan) -> Vec<Fig6Row> {
-    suite::all()
-        .iter()
-        .map(|w| {
-            let out = run(L2Choice::TwoPartC1, w, plan);
-            let h = out.lr_rewrite_intervals.expect("C1 is two-part");
-            let f = h.fractions();
-            let mut fractions = [0.0f64; 6];
-            fractions.copy_from_slice(&f);
-            Fig6Row {
-                workload: w.name.clone(),
-                fractions,
-                total: h.total(),
-            }
-        })
-        .collect()
+pub fn compute(exec: &Executor, plan: &RunPlan) -> Vec<Fig6Row> {
+    let workloads = suite::all();
+    exec.map(&workloads, |w| {
+        let out = exec.run(L2Choice::TwoPartC1, w, plan);
+        let h = out.lr_rewrite_intervals.as_ref().expect("C1 is two-part");
+        let f = h.fractions();
+        let mut fractions = [0.0f64; 6];
+        fractions.copy_from_slice(&f);
+        Fig6Row {
+            workload: w.name.clone(),
+            fractions,
+            total: h.total(),
+        }
+    })
 }
 
 /// Renders the distribution table (percentages, as the paper's stacked
@@ -99,7 +97,7 @@ mod tests {
             max_cycles: 3_000_000,
         };
         let w = suite::by_name("kmeans").expect("kmeans");
-        let out = run(L2Choice::TwoPartC1, &w, &plan);
+        let out = crate::runner::run(L2Choice::TwoPartC1, &w, &plan);
         let h = out.lr_rewrite_intervals.expect("two-part");
         assert!(
             h.total() > 100,

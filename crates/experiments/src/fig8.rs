@@ -16,7 +16,7 @@ use sttgpu_workloads::{suite, Region};
 
 use crate::configs::L2Choice;
 use crate::report;
-use crate::runner::{run, RunOutput, RunPlan};
+use crate::runner::{Executor, RunPlan};
 
 /// Results of one workload across all five configurations.
 #[derive(Debug, Clone)]
@@ -45,14 +45,20 @@ pub struct Fig8Summary {
     pub total_power: [f64; 5],
 }
 
-/// Runs the full cross product and normalises against the SRAM baseline.
-pub fn compute(plan: &RunPlan) -> (Vec<Fig8Row>, Fig8Summary) {
+/// Runs the full (workload × configuration) cross product — every point
+/// fanned across the executor's pool — and normalises against the SRAM
+/// baseline.
+pub fn compute(exec: &Executor, plan: &RunPlan) -> (Vec<Fig8Row>, Fig8Summary) {
+    let workloads = suite::all();
+    let points: Vec<(usize, L2Choice)> = (0..workloads.len())
+        .flat_map(|wi| L2Choice::ALL.iter().map(move |&choice| (wi, choice)))
+        .collect();
+    let all_outputs = exec.map(&points, |&(wi, choice)| {
+        exec.run(choice, &workloads[wi], plan)
+    });
     let mut rows = Vec::new();
-    for w in suite::all() {
-        let outputs: Vec<RunOutput> = L2Choice::ALL
-            .iter()
-            .map(|&choice| run(choice, &w, plan))
-            .collect();
+    for (wi, w) in workloads.iter().enumerate() {
+        let outputs = &all_outputs[wi * L2Choice::ALL.len()..(wi + 1) * L2Choice::ALL.len()];
         let base = &outputs[0].metrics;
         let base_dyn = base.l2_dynamic_power_mw().max(1e-9);
         let base_tot = base.l2_total_power_mw().max(1e-9);
@@ -206,6 +212,7 @@ pub fn to_csv(rows: &[Fig8Row]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run;
 
     /// A reduced-scale end-to-end check of the headline shape on two
     /// contrasting workloads (the full suite runs in the repro binary).

@@ -40,4 +40,4 @@ pub mod table2;
 pub mod workload_table;
 
 pub use configs::{gpu_config, L2Choice};
-pub use runner::{RunOutput, RunPlan};
+pub use runner::{Executor, ExecutorStats, RunOutput, RunPlan};

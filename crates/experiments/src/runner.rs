@@ -1,4 +1,22 @@
 //! Shared run machinery for all figures.
+//!
+//! Two layers:
+//!
+//! * the free functions [`run`] / [`run_config`] execute one simulation
+//!   synchronously — the primitive everything reduces to;
+//! * an [`Executor`] fans a batch of simulations across a scoped thread
+//!   pool and **memoizes** the named-configuration runs, so one
+//!   `repro all` invocation executes each unique
+//!   `(L2Choice, workload, plan)` simulation exactly once even though
+//!   several artefacts need the same run (fig3/fig8/workload-table all
+//!   want the SRAM baseline suite, fig6/fig8/endurance all want C1).
+//!
+//! Results always come back in **input order**, so tables and CSVs are
+//! byte-identical whether the executor runs with 1 job or 32.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use sttgpu_core::{LlcModel, TwoPartStats};
 use sttgpu_sim::{Gpu, GpuConfig, RunMetrics, Workload};
@@ -97,6 +115,185 @@ pub fn run(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunOutput {
     run_config(gpu_config(choice), workload, plan)
 }
 
+/// Memoization key of one named-configuration run. `RunPlan` holds an
+/// `f64` scale, so the key stores its bit pattern (plans are constructed,
+/// not computed, so bit equality is the right notion here).
+type RunKey = (L2Choice, String, u64, u64);
+
+fn run_key(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunKey {
+    (
+        choice,
+        workload.name.clone(),
+        plan.scale.to_bits(),
+        plan.max_cycles,
+    )
+}
+
+/// Counters describing what an [`Executor`] actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Simulations physically executed (cache misses + uncached runs).
+    pub runs_executed: u64,
+    /// Requests served from the memoization cache without simulating.
+    pub cache_hits: u64,
+    /// Total simulated GPU cycles across executed runs.
+    pub cycles_simulated: u64,
+}
+
+/// A parallel, memoizing experiment runner.
+///
+/// [`map`](Executor::map) fans independent work items across a scoped
+/// thread pool ([`std::thread::scope`], no detached threads, no unsafe)
+/// and returns results in input order. [`run`](Executor::run) memoizes
+/// named-configuration simulations under a `(L2Choice, workload name,
+/// plan)` key shared by every artefact holding the same executor;
+/// concurrent requests for the same key block on a [`OnceLock`] so each
+/// unique simulation executes exactly once.
+#[derive(Debug, Default)]
+pub struct Executor {
+    jobs: usize,
+    cache: Mutex<HashMap<RunKey, Arc<OnceLock<Arc<RunOutput>>>>>,
+    runs_executed: AtomicU64,
+    cache_hits: AtomicU64,
+    cycles_simulated: AtomicU64,
+}
+
+impl Executor {
+    /// Creates an executor with `jobs` worker threads (clamped to ≥ 1).
+    pub fn new(jobs: usize) -> Self {
+        Executor {
+            jobs: jobs.max(1),
+            ..Executor::default()
+        }
+    }
+
+    /// An executor sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        Executor::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+
+    /// A single-threaded executor (still memoizes).
+    pub fn sequential() -> Self {
+        Executor::new(1)
+    }
+
+    /// The configured worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Snapshot of the run/cache counters.
+    pub fn stats(&self) -> ExecutorStats {
+        ExecutorStats {
+            runs_executed: self.runs_executed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cycles_simulated: self.cycles_simulated.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_run(&self, out: &RunOutput) {
+        self.runs_executed.fetch_add(1, Ordering::Relaxed);
+        self.cycles_simulated
+            .fetch_add(out.metrics.cycles, Ordering::Relaxed);
+    }
+
+    /// Applies `f` to every item, fanning the calls across the worker
+    /// pool. Results are returned in input order regardless of which
+    /// thread finished first, so downstream rendering is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker.
+    pub fn map<I, R, F>(&self, items: &[I], f: F) -> Vec<R>
+    where
+        I: Sync,
+        R: Send,
+        F: Fn(&I) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        // Each worker tags results with their input index; no locks on the
+        // hot path, and a panic in any worker propagates via join().
+        let tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(&items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("executor worker panicked"))
+                .collect()
+        });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in tagged {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index visited exactly once"))
+            .collect()
+    }
+
+    /// Memoized [`run`]: the first request for a `(choice, workload,
+    /// plan)` key simulates; every later request — from any artefact or
+    /// thread sharing this executor — returns the cached output.
+    pub fn run(&self, choice: L2Choice, workload: &Workload, plan: &RunPlan) -> Arc<RunOutput> {
+        let cell = {
+            let mut cache = self.cache.lock().expect("executor cache poisoned");
+            Arc::clone(
+                cache
+                    .entry(run_key(choice, workload, plan))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        let mut fresh = false;
+        let out = Arc::clone(cell.get_or_init(|| {
+            fresh = true;
+            let out = Arc::new(run(choice, workload, plan));
+            self.record_run(&out);
+            out
+        }));
+        if !fresh {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Uncached [`run_config`] for sweeps over ad-hoc configurations
+    /// (threshold/associativity/retention ablations). Counted in
+    /// [`stats`](Executor::stats) but never memoized: arbitrary
+    /// `GpuConfig`s have no stable identity to key on.
+    pub fn run_config(
+        &self,
+        cfg: GpuConfig,
+        workload: &Workload,
+        plan: &RunPlan,
+    ) -> Arc<RunOutput> {
+        let out = Arc::new(run_config(cfg, workload, plan));
+        self.record_run(&out);
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +323,72 @@ mod tests {
         let tp = out.two_part.expect("two-part stats");
         assert!(tp.demand_writes() > 0);
         assert!(out.lr_rewrite_intervals.is_some());
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let exec = Executor::new(4);
+        let items: Vec<u64> = (0..37).collect();
+        let out = exec.map(&items, |&i| i * i);
+        assert_eq!(out, items.iter().map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_with_one_item_or_one_job_runs_inline() {
+        assert_eq!(Executor::sequential().map(&[5], |&x: &i32| x + 1), vec![6]);
+        assert_eq!(Executor::new(8).map(&[5], |&x: &i32| x + 1), vec![6]);
+        let empty: Vec<i32> = Vec::new();
+        assert!(Executor::new(8).map(&empty, |&x: &i32| x).is_empty());
+    }
+
+    #[test]
+    fn run_is_memoized_per_key() {
+        let exec = Executor::new(2);
+        let w = suite::by_name("lud").expect("lud");
+        let plan = tiny_plan();
+        let a = exec.run(L2Choice::SramBaseline, &w, &plan);
+        let b = exec.run(L2Choice::SramBaseline, &w, &plan);
+        assert!(Arc::ptr_eq(&a, &b), "second request must hit the cache");
+        let s = exec.stats();
+        assert_eq!(s.runs_executed, 1);
+        assert_eq!(s.cache_hits, 1);
+        assert!(s.cycles_simulated > 0);
+
+        // A different plan (or choice, or workload) is a different key.
+        let other = RunPlan {
+            scale: 0.04,
+            max_cycles: 2_000_000,
+        };
+        let c = exec.run(L2Choice::SramBaseline, &w, &other);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(exec.stats().runs_executed, 2);
+    }
+
+    #[test]
+    fn concurrent_requests_for_one_key_simulate_once() {
+        let exec = Executor::new(4);
+        let w = suite::by_name("lud").expect("lud");
+        let plan = tiny_plan();
+        let outs = exec.map(&[(); 8], |_| exec.run(L2Choice::SramBaseline, &w, &plan));
+        for o in &outs[1..] {
+            assert!(Arc::ptr_eq(&outs[0], o));
+        }
+        let s = exec.stats();
+        assert_eq!(s.runs_executed, 1, "one simulation for eight requests");
+        assert_eq!(s.cache_hits, 7);
+    }
+
+    #[test]
+    fn parallel_and_sequential_runs_agree_exactly() {
+        let w = suite::by_name("nw").expect("nw");
+        let plan = tiny_plan();
+        let seq = run(L2Choice::TwoPartC1, &w, &plan);
+        let par = Executor::new(4).map(&[(); 3], |_| run(L2Choice::TwoPartC1, &w, &plan));
+        for p in &par {
+            assert_eq!(p.metrics, seq.metrics);
+            assert_eq!(p.two_part, seq.two_part);
+            assert_eq!(p.write_matrix, seq.write_matrix);
+        }
     }
 
     #[test]

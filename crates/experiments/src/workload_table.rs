@@ -12,7 +12,7 @@ use sttgpu_workloads::suite;
 
 use crate::configs::L2Choice;
 use crate::report;
-use crate::runner::{run, RunPlan};
+use crate::runner::{Executor, RunPlan};
 
 /// Measured characteristics of one workload on the baseline GPU.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,31 +38,29 @@ pub struct WorkloadRow {
 }
 
 /// Measures the whole suite on the SRAM baseline.
-pub fn compute(plan: &RunPlan) -> Vec<WorkloadRow> {
-    suite::all()
-        .iter()
-        .map(|w| {
-            let out = run(L2Choice::SramBaseline, w, plan);
-            let m = &out.metrics;
-            let kilo_instr = (m.instructions as f64 / 1000.0).max(1e-9);
-            let l2 = &m.l2;
-            WorkloadRow {
-                workload: w.name.clone(),
-                region: suite::region_of(&w.name).expect("suite workload").index(),
-                kernels: w.kernels.len(),
-                ipc: m.ipc(),
-                l1_hit_rate: m.l1_hit_rate(),
-                l2_hit_rate: l2.hit_rate(),
-                l2_write_share: if l2.accesses() == 0 {
-                    0.0
-                } else {
-                    (l2.write_hits + l2.write_misses) as f64 / l2.accesses() as f64
-                },
-                l2_apki: l2.accesses() as f64 / kilo_instr,
-                dram_rpki: m.dram_reads as f64 / kilo_instr,
-            }
-        })
-        .collect()
+pub fn compute(exec: &Executor, plan: &RunPlan) -> Vec<WorkloadRow> {
+    let workloads = suite::all();
+    exec.map(&workloads, |w| {
+        let out = exec.run(L2Choice::SramBaseline, w, plan);
+        let m = &out.metrics;
+        let kilo_instr = (m.instructions as f64 / 1000.0).max(1e-9);
+        let l2 = &m.l2;
+        WorkloadRow {
+            workload: w.name.clone(),
+            region: suite::region_of(&w.name).expect("suite workload").index(),
+            kernels: w.kernels.len(),
+            ipc: m.ipc(),
+            l1_hit_rate: m.l1_hit_rate(),
+            l2_hit_rate: l2.hit_rate(),
+            l2_write_share: if l2.accesses() == 0 {
+                0.0
+            } else {
+                (l2.write_hits + l2.write_misses) as f64 / l2.accesses() as f64
+            },
+            l2_apki: l2.accesses() as f64 / kilo_instr,
+            dram_rpki: m.dram_reads as f64 / kilo_instr,
+        }
+    })
 }
 
 /// Renders the characterisation table.
@@ -142,7 +140,7 @@ mod tests {
             scale: 0.08,
             max_cycles: 6_000_000,
         };
-        let rows = compute(&plan);
+        let rows = compute(&Executor::auto(), &plan);
         assert_eq!(rows.len(), 16);
         let get = |name: &str| {
             rows.iter()

@@ -1,0 +1,72 @@
+//! Parallel execution must be a pure performance optimisation: whatever
+//! an artefact computes on a single-threaded executor, it must compute
+//! byte-for-byte identically on a many-threaded one. These tests pin that
+//! contract at both the run level (metrics and two-part internals) and
+//! the artefact level (rendered tables and CSVs).
+
+use sttgpu_experiments::{fig3, fig8, Executor, L2Choice, RunPlan};
+use sttgpu_workloads::suite;
+
+fn tiny_plan() -> RunPlan {
+    RunPlan {
+        scale: 0.05,
+        max_cycles: 2_000_000,
+    }
+}
+
+#[test]
+fn sequential_and_parallel_executors_produce_identical_run_results() {
+    let plan = tiny_plan();
+    let seq = Executor::sequential();
+    let par = Executor::new(4);
+    for w in ["nw", "lud", "kmeans"] {
+        let workload = suite::by_name(w).expect("suite workload");
+        for choice in [L2Choice::SramBaseline, L2Choice::TwoPartC1] {
+            let a = seq.run(choice, &workload, &plan);
+            let b = par.run(choice, &workload, &plan);
+            assert_eq!(a.metrics, b.metrics, "{w} metrics diverge");
+            assert_eq!(a.two_part, b.two_part, "{w} two-part stats diverge");
+            assert_eq!(a.write_matrix, b.write_matrix, "{w} write matrix diverges");
+        }
+    }
+}
+
+#[test]
+fn fig3_renders_byte_identically_on_any_job_count() {
+    let plan = tiny_plan();
+    let seq_rows = fig3::compute(&Executor::sequential(), &plan);
+    let par_rows = fig3::compute(&Executor::new(8), &plan);
+    assert_eq!(seq_rows, par_rows, "row data diverges");
+    assert_eq!(fig3::render(&seq_rows), fig3::render(&par_rows));
+    assert_eq!(fig3::to_csv(&seq_rows), fig3::to_csv(&par_rows));
+}
+
+#[test]
+fn fig8_renders_byte_identically_on_any_job_count() {
+    let plan = tiny_plan();
+    let (seq_rows, seq_sum) = fig8::compute(&Executor::sequential(), &plan);
+    let (par_rows, par_sum) = fig8::compute(&Executor::new(8), &plan);
+    assert_eq!(
+        fig8::render(&seq_rows, &seq_sum),
+        fig8::render(&par_rows, &par_sum)
+    );
+    assert_eq!(fig8::to_csv(&seq_rows), fig8::to_csv(&par_rows));
+}
+
+#[test]
+fn shared_executor_deduplicates_across_artefacts() {
+    // fig8 already needs (C1, every workload); fig6 wants exactly the
+    // same runs, so on a shared executor fig6 must execute nothing new.
+    let plan = tiny_plan();
+    let exec = Executor::new(4);
+    let _ = fig8::compute(&exec, &plan);
+    let runs_after_fig8 = exec.stats().runs_executed;
+    let rows = sttgpu_experiments::fig6::compute(&exec, &plan);
+    assert_eq!(rows.len(), suite::all().len());
+    assert_eq!(
+        exec.stats().runs_executed,
+        runs_after_fig8,
+        "fig6 after fig8 must be served entirely from the run cache"
+    );
+    assert!(exec.stats().cache_hits >= rows.len() as u64);
+}

@@ -91,6 +91,9 @@ impl Gpu {
         let mut finished = true;
         let mut kernels_skipped = 0;
         let mut kernel_spans = Vec::with_capacity(kernels.len());
+        // Reused across every cycle of the run so the hot loop does not
+        // allocate a fresh delivery vector per tick.
+        let mut fills: Vec<crate::mem::FillDelivery> = Vec::new();
 
         'kernels: for (k_idx, kernel) in kernels.iter().enumerate() {
             let kernel_start_cycle = self.cycle;
@@ -136,7 +139,8 @@ impl Gpu {
                 }
 
                 let now_ns = self.cfg.ns_of_cycle(self.cycle);
-                for fill in self.mem.tick(now_ns) {
+                self.mem.tick(now_ns, &mut fills);
+                for fill in &fills {
                     let retired = self.sms[fill.sm as usize].deliver_fill(
                         fill.byte_addr,
                         now_ns,

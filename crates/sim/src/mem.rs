@@ -52,7 +52,10 @@ pub struct MemSystem {
     dram_row_miss_ns: u64,
     dram_row_hit_ns: u64,
     dram_lines_per_row: u64,
-    open_rows: Vec<u64>,
+    /// One open-row slot per memory controller (fixed at construction,
+    /// like the row latch in a real DRAM bank): `open_rows[mc]` is the row
+    /// currently latched at controller `mc`, or `u64::MAX` when closed.
+    open_rows: Box<[u64]>,
     dram_service_ns: u64,
     l2_line_bytes: u64,
     next_maintain_ns: u64,
@@ -84,7 +87,7 @@ impl MemSystem {
             dram_row_miss_ns: cfg.dram.latency_ns,
             dram_row_hit_ns: cfg.dram.row_hit_latency_ns,
             dram_lines_per_row: (cfg.dram.row_bytes / cfg.l2_line_bytes as u64).max(1),
-            open_rows: vec![u64::MAX; cfg.dram.controllers as usize],
+            open_rows: vec![u64::MAX; cfg.dram.controllers as usize].into_boxed_slice(),
             dram_service_ns: cfg.dram.service_ns,
             l2_line_bytes: cfg.l2_line_bytes as u64,
             next_maintain_ns: maintain_interval_ns,
@@ -208,8 +211,12 @@ impl MemSystem {
     }
 
     /// Advances the memory system to `now_ns`: runs due maintenance and
-    /// events, returning L1 fill deliveries that are due.
-    pub fn tick(&mut self, now_ns: u64) -> Vec<FillDelivery> {
+    /// events, appending due L1 fill deliveries to `fills`.
+    ///
+    /// `fills` is cleared first; the caller owns it and reuses it across
+    /// ticks so the per-cycle hot loop allocates nothing.
+    pub fn tick(&mut self, now_ns: u64, fills: &mut Vec<FillDelivery>) {
+        fills.clear();
         // L2 refresh/expiry cadence.
         if self.maintain_interval_ns != u64::MAX {
             while self.next_maintain_ns <= now_ns {
@@ -219,7 +226,6 @@ impl MemSystem {
             }
         }
 
-        let mut fills = Vec::new();
         while let Some(&Reverse((t, _, kind))) = self.events.peek() {
             if t > now_ns {
                 break;
@@ -248,7 +254,6 @@ impl MemSystem {
                 }
             }
         }
-        fills
     }
 
     /// Whether no memory traffic is in flight.
@@ -281,9 +286,11 @@ mod tests {
     /// Drains the system, returning all deliveries with their times.
     fn drain(m: &mut MemSystem, until_ns: u64) -> Vec<(u64, FillDelivery)> {
         let mut out = Vec::new();
+        let mut fills = Vec::new();
         let mut t = 0;
         while t <= until_ns {
-            for f in m.tick(t) {
+            m.tick(t, &mut fills);
+            for &f in &fills {
                 out.push((t, f));
             }
             t += 10;
@@ -362,7 +369,7 @@ mod tests {
         // Fill a dirty line then run far past HR/LR retention.
         m.write_request(0, 0x100, 0);
         drain(&mut m, 20_000);
-        m.tick(10_000_000); // 10 ms
+        m.tick(10_000_000, &mut Vec::new()); // 10 ms
         let tp = m.llc().as_two_part().expect("two-part L2");
         assert!(
             tp.stats().refreshes > 0 || tp.stats().hr_expirations > 0,
@@ -400,6 +407,37 @@ mod tests {
             hit_latency + 20 < miss_latency,
             "row hit {hit_latency} must beat row miss {miss_latency}"
         );
+    }
+
+    #[test]
+    fn controllers_track_open_rows_independently() {
+        let mut m = mem();
+        // Lines 0 and 1 land on controllers 0 and 1. Opening a row on one
+        // controller must not disturb the other's latch.
+        m.read_request(0, 0, 0);
+        m.read_request(0, 256, 0);
+        drain(&mut m, 5_000);
+        assert_eq!(m.dram_row_hits, 0);
+        // Same rows again: both controllers still hold their rows.
+        m.read_request(0, 6 * 256, 10_000);
+        m.read_request(0, 7 * 256, 10_000);
+        drain(&mut m, 20_000);
+        assert_eq!(m.dram_row_hits, 2, "each controller keeps its own row");
+    }
+
+    #[test]
+    fn reused_fill_buffer_is_cleared_each_tick() {
+        let mut m = mem();
+        let mut fills = Vec::new();
+        m.read_request(0, 0x1000, 0);
+        let mut seen = 0;
+        for t in (0..10_000).step_by(10) {
+            m.tick(t, &mut fills);
+            seen += fills.len();
+        }
+        assert_eq!(seen, 1, "exactly one delivery in total");
+        m.tick(20_000, &mut fills);
+        assert!(fills.is_empty(), "stale deliveries must not survive");
     }
 
     #[test]

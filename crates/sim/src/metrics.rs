@@ -27,7 +27,7 @@ impl KernelSpan {
 }
 
 /// Results of one simulated run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// Workload name.
     pub workload: String,

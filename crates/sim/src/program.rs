@@ -8,9 +8,8 @@
 //! every simulator configuration sees the *same* access trace — the
 //! experiments compare architectures, not random draws.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use sttgpu_stats::Rng;
 
 use crate::kernel::{KernelParams, WritePhase};
 
@@ -54,7 +53,7 @@ pub enum WarpInstr {
 #[derive(Debug, Clone)]
 pub struct WarpProgram {
     params: Arc<KernelParams>,
-    rng: SmallRng,
+    rng: Rng,
     issued: u32,
     stream_cursor: u64,
     local_cursor: u64,
@@ -81,7 +80,7 @@ impl WarpProgram {
         let mixed = seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(global_warp.wrapping_mul(0xD1B5_4A32_D192_ED03));
-        let rng = SmallRng::seed_from_u64(mixed);
+        let rng = Rng::new(mixed);
 
         // Local (per-thread) data lives in its own address region, far
         // above any global footprint, with a small per-warp frame.
@@ -132,7 +131,7 @@ impl WarpProgram {
 
     fn random_line_in(&mut self, base: u64, len_bytes: u64) -> u64 {
         let lines = (len_bytes / self.line_bytes).max(1);
-        base + self.rng.gen_range(0..lines) * self.line_bytes
+        base + self.rng.range_u64(0, lines) * self.line_bytes
     }
 
     /// Number of distinct L1 lines this memory instruction touches, drawn
@@ -140,7 +139,7 @@ impl WarpProgram {
     fn sample_lines(&mut self) -> usize {
         let c = self.params.coalescing;
         let floor = c.floor();
-        let n = if self.rng.gen_bool((c - floor).clamp(0.0, 1.0)) {
+        let n = if self.rng.chance((c - floor).clamp(0.0, 1.0)) {
             floor as usize + 1
         } else {
             floor as usize
@@ -151,7 +150,7 @@ impl WarpProgram {
     fn gen_read(&mut self) -> Vec<u64> {
         let n = self.sample_lines();
         let mut addrs = Vec::with_capacity(n);
-        if self.rng.gen_bool(self.params.read_locality) {
+        if self.rng.chance(self.params.read_locality) {
             // Stream through the warp's segment: consecutive lines.
             for _ in 0..n {
                 let off = self.stream_cursor % self.segment_len;
@@ -175,7 +174,7 @@ impl WarpProgram {
         let wws_len = ((self.params.footprint_bytes as f64 * self.params.wws_fraction) as u64)
             .max(self.line_bytes);
         for _ in 0..n {
-            if self.rng.gen_bool(self.params.write_skew) {
+            if self.rng.chance(self.params.write_skew) {
                 // Concentrated write-working-set traffic.
                 addrs.push(self.random_line_in(self.params.addr_base, wws_len));
             } else {
@@ -220,15 +219,15 @@ impl WarpProgram {
         }
         let w_prob = self.write_probability();
         self.issued += 1;
-        if self.rng.gen_bool(self.params.mem_fraction) {
-            if self.params.local_fraction > 0.0 && self.rng.gen_bool(self.params.local_fraction) {
+        if self.rng.chance(self.params.mem_fraction) {
+            if self.params.local_fraction > 0.0 && self.rng.chance(self.params.local_fraction) {
                 // Register spills: reads and rewrites of the private frame.
-                if self.rng.gen_bool(0.5) {
+                if self.rng.chance(0.5) {
                     Some(WarpInstr::LocalWrite(self.gen_local()))
                 } else {
                     Some(WarpInstr::LocalRead(self.gen_local()))
                 }
-            } else if self.rng.gen_bool(w_prob) {
+            } else if self.rng.chance(w_prob) {
                 Some(WarpInstr::MemWrite(self.gen_write()))
             } else {
                 Some(WarpInstr::MemRead(self.gen_read()))

@@ -375,10 +375,11 @@ mod tests {
     /// Runs the SM until idle, delivering memory responses.
     fn run_to_completion(sm: &mut Sm, mem: &mut MemSystem, max_cycles: u64) -> u32 {
         let mut retired = 0;
+        let mut fills = Vec::new();
         for cycle in 0..max_cycles {
             let now_ns = cycle * 5 / 7;
-            let fills = mem.tick(now_ns);
-            for fill in fills {
+            mem.tick(now_ns, &mut fills);
+            for &fill in &fills {
                 retired += sm.deliver_fill(fill.byte_addr, now_ns, mem);
             }
             retired += sm.cycle(mem, cycle, now_ns);

@@ -1,7 +1,8 @@
-//! Property-based tests for the GPU simulator's global invariants.
+//! Randomized property tests for the GPU simulator's global invariants,
+//! driven by the in-tree deterministic [`Rng`].
 
-use proptest::prelude::*;
 use sttgpu_sim::{Gpu, GpuConfig, KernelParams, L2ModelConfig, WarpScheduler, Workload};
+use sttgpu_stats::Rng;
 
 fn small_cfg() -> GpuConfig {
     let mut cfg = GpuConfig::gtx480();
@@ -14,56 +15,50 @@ fn small_cfg() -> GpuConfig {
     cfg
 }
 
-/// Strategy over small but varied kernels.
-fn kernel_strategy() -> impl Strategy<Value = KernelParams> {
-    (
-        2u32..12,    // blocks
-        1u32..4,     // warps per block (x32 threads)
-        50u32..300,  // instructions
-        0.0f64..0.5, // mem fraction
-        0.0f64..0.7, // write fraction
-        0.0f64..0.4, // local fraction
-        32u64..512,  // footprint KB
-        0.0f64..1.0, // read locality
-    )
-        .prop_map(|(blocks, wpb, instr, memf, wf, localf, fp, loc)| {
-            KernelParams::new("fuzz", blocks, wpb * 32)
-                .with_instructions(instr)
-                .with_mem_fraction(memf)
-                .with_write_fraction(wf)
-                .with_local_fraction(localf)
-                .with_footprint_kb(fp)
-                .with_read_locality(loc)
-        })
+/// Draws a small but varied kernel.
+fn random_kernel(rng: &mut Rng) -> KernelParams {
+    KernelParams::new("fuzz", rng.range_u32(2, 12), rng.range_u32(1, 4) * 32)
+        .with_instructions(rng.range_u32(50, 300))
+        .with_mem_fraction(rng.range_f64(0.0, 0.5))
+        .with_write_fraction(rng.range_f64(0.0, 0.7))
+        .with_local_fraction(rng.range_f64(0.0, 0.4))
+        .with_footprint_kb(rng.range_u64(32, 512))
+        .with_read_locality(rng.range_f64(0.0, 1.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every fuzzed kernel drains: the GPU reaches the exact analytic
-    /// instruction count and goes idle.
-    #[test]
-    fn fuzzed_kernels_always_drain(k in kernel_strategy(), seed in 0u64..1000) {
+/// Every fuzzed kernel drains: the GPU reaches the exact analytic
+/// instruction count and goes idle.
+#[test]
+fn fuzzed_kernels_always_drain() {
+    let mut rng = Rng::new(0xAA01);
+    for _ in 0..12 {
+        let k = random_kernel(&mut rng);
+        let seed = rng.range_u64(0, 1000);
         let mut gpu = Gpu::new(small_cfg());
         let m = gpu.run_seeded(std::slice::from_ref(&k), seed, 30_000_000);
-        prop_assert!(m.finished, "kernel did not drain");
-        let expected = k.blocks as u64 * k.threads_per_block as u64
-            * k.instructions_per_warp as u64;
-        prop_assert_eq!(m.instructions, expected, "instruction conservation");
+        assert!(m.finished, "kernel did not drain: {k:?}");
+        let expected =
+            k.blocks as u64 * k.threads_per_block as u64 * k.instructions_per_warp as u64;
+        assert_eq!(m.instructions, expected, "instruction conservation");
     }
+}
 
-    /// The same (kernel, seed) is bit-identical across runs and across
-    /// L2 choices in committed work.
-    #[test]
-    fn determinism_and_trace_equality(k in kernel_strategy(), seed in 0u64..1000) {
+/// The same (kernel, seed) is bit-identical across runs and across L2
+/// choices in committed work.
+#[test]
+fn determinism_and_trace_equality() {
+    let mut rng = Rng::new(0xAA02);
+    for _ in 0..8 {
+        let k = random_kernel(&mut rng);
+        let seed = rng.range_u64(0, 1000);
         let w = Workload::new("fuzz", vec![k], seed);
         let mut a = Gpu::new(small_cfg());
         let mut b = Gpu::new(small_cfg());
         let ra = a.run_workload(&w, 30_000_000);
         let rb = b.run_workload(&w, 30_000_000);
-        prop_assert_eq!(ra.cycles, rb.cycles);
-        prop_assert_eq!(ra.l2.accesses(), rb.l2.accesses());
-        prop_assert_eq!(ra.dram_reads, rb.dram_reads);
+        assert_eq!(ra.cycles, rb.cycles);
+        assert_eq!(ra.l2.accesses(), rb.l2.accesses());
+        assert_eq!(ra.dram_reads, rb.dram_reads);
 
         // A different L2 sees the same committed instructions.
         let mut cfg = small_cfg();
@@ -75,13 +70,18 @@ proptest! {
         };
         let mut c = Gpu::new(cfg);
         let rc = c.run_workload(&w, 30_000_000);
-        prop_assert!(rc.finished);
-        prop_assert_eq!(rc.instructions, ra.instructions);
+        assert!(rc.finished);
+        assert_eq!(rc.instructions, ra.instructions);
     }
+}
 
-    /// Both schedulers drain every fuzzed kernel with identical work.
-    #[test]
-    fn schedulers_agree_on_work(k in kernel_strategy(), seed in 0u64..500) {
+/// Both schedulers drain every fuzzed kernel with identical work.
+#[test]
+fn schedulers_agree_on_work() {
+    let mut rng = Rng::new(0xAA03);
+    for _ in 0..8 {
+        let k = random_kernel(&mut rng);
+        let seed = rng.range_u64(0, 500);
         let w = Workload::new("fuzz", vec![k], seed);
         let mut lrr_cfg = small_cfg();
         lrr_cfg.scheduler = WarpScheduler::LooseRoundRobin;
@@ -89,36 +89,41 @@ proptest! {
         gto_cfg.scheduler = WarpScheduler::GreedyThenOldest;
         let ra = Gpu::new(lrr_cfg).run_workload(&w, 30_000_000);
         let rb = Gpu::new(gto_cfg).run_workload(&w, 30_000_000);
-        prop_assert!(ra.finished && rb.finished);
-        prop_assert_eq!(ra.instructions, rb.instructions);
+        assert!(ra.finished && rb.finished);
+        assert_eq!(ra.instructions, rb.instructions);
     }
+}
 
-    /// Accounting identities hold after any run: L2 accesses and DRAM
-    /// traffic are consistent with hit/miss counters.
-    #[test]
-    fn accounting_identities(k in kernel_strategy(), seed in 0u64..500) {
+/// Accounting identities hold after any run: L2 accesses and DRAM traffic
+/// are consistent with hit/miss counters.
+#[test]
+fn accounting_identities() {
+    let mut rng = Rng::new(0xAA04);
+    for _ in 0..12 {
+        let k = random_kernel(&mut rng);
+        let seed = rng.range_u64(0, 500);
         let mut gpu = Gpu::new(small_cfg());
         let m = gpu.run_seeded(&[k], seed, 30_000_000);
-        prop_assert!(m.finished);
-        prop_assert_eq!(
+        assert!(m.finished);
+        assert_eq!(
             m.l2.accesses(),
             m.l2.read_hits + m.l2.read_misses + m.l2.write_hits + m.l2.write_misses
         );
         // Every DRAM read was caused by some L2 miss (merging can only
         // reduce, never amplify).
-        prop_assert!(m.dram_reads <= m.l2.misses() + 1);
-        prop_assert!(m.dram_row_hits <= m.dram_reads);
+        assert!(m.dram_reads <= m.l2.misses() + 1);
+        assert!(m.dram_row_hits <= m.dram_reads);
         // Energy is consistent with traffic.
         let e = m.l2_energy.dynamic_nj();
         if m.l2.accesses() > 0 {
-            prop_assert!(e > 0.0, "traffic must cost energy");
+            assert!(e > 0.0, "traffic must cost energy");
         }
     }
 }
 
-/// Proptest-independent: the two-part L2 under a fuzz-ish end-to-end run
-/// never loses LR data and keeps exclusivity (heavier than the unit-level
-/// checks because the full GPU drives it).
+/// The two-part L2 under a fuzz-ish end-to-end run never loses LR data and
+/// keeps exclusivity (heavier than the unit-level checks because the full
+/// GPU drives it).
 #[test]
 fn two_part_under_full_gpu_traffic() {
     use sttgpu_core::TwoPartConfig;

@@ -35,9 +35,11 @@
 mod counter;
 mod cov;
 mod histogram;
+pub mod rng;
 mod running;
 
 pub use counter::Counter;
 pub use cov::{coefficient_of_variation, WriteVariation};
 pub use histogram::{Bucket, Histogram};
+pub use rng::Rng;
 pub use running::RunningStats;
