@@ -3,7 +3,8 @@
 #
 #   ./ci.sh            # build + tests + lints
 #   ./ci.sh --smoke    # also run a reduced-scale repro to exercise the
-#                      # parallel executor end to end
+#                      # parallel executor end to end, plus a --check run
+#                      # with the runtime invariant checker attached
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -22,6 +23,9 @@ cargo fmt --all -- --check
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "==> repro smoke run (scale 0.1, all artefacts)"
     ./target/release/repro --scale 0.1 all > /dev/null
+
+    echo "==> repro invariant-checker run (scale 0.05, all artefacts, --check)"
+    ./target/release/repro --scale 0.05 all --check > /dev/null
 fi
 
 echo "CI OK"

@@ -27,6 +27,7 @@ pub fn print_plan() -> RunPlan {
     RunPlan {
         scale: BENCH_PRINT_SCALE,
         max_cycles: 8_000_000,
+        check: false,
     }
 }
 
@@ -35,6 +36,7 @@ pub fn measure_plan() -> RunPlan {
     RunPlan {
         scale: BENCH_MEASURE_SCALE,
         max_cycles: 4_000_000,
+        check: false,
     }
 }
 

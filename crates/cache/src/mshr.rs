@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use sttgpu_trace::{Trace, TraceEvent};
+
 /// Result of trying to allocate an MSHR for a missing line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -37,6 +39,8 @@ pub struct MshrTable {
     capacity: usize,
     targets_per_entry: usize,
     entries: HashMap<u64, Vec<u64>>,
+    trace: Trace,
+    space: u32,
 }
 
 impl MshrTable {
@@ -52,7 +56,16 @@ impl MshrTable {
             capacity,
             targets_per_entry,
             entries: HashMap::with_capacity(capacity),
+            trace: Trace::off(),
+            space: 0,
         }
+    }
+
+    /// Attaches a trace sink; `space` distinguishes this table in the
+    /// event stream (0 is the L2 miss tracker, `1 + sm_id` an L1's).
+    pub fn set_trace(&mut self, trace: Trace, space: u32) {
+        self.trace = trace;
+        self.space = space;
     }
 
     /// Attempts to register `token` as waiting for `line_addr`.
@@ -62,19 +75,36 @@ impl MshrTable {
                 return MshrOutcome::Full;
             }
             targets.push(token);
+            self.trace.emit(|| TraceEvent::MshrMerge {
+                space: self.space,
+                la: line_addr,
+            });
             return MshrOutcome::Merged;
         }
         if self.entries.len() >= self.capacity {
             return MshrOutcome::Full;
         }
         self.entries.insert(line_addr, vec![token]);
+        self.trace.emit(|| TraceEvent::MshrAlloc {
+            space: self.space,
+            la: line_addr,
+        });
         MshrOutcome::Allocated
     }
 
     /// Completes the fill of `line_addr`, releasing and returning the
     /// waiting tokens (empty when the line was not in flight).
     pub fn complete(&mut self, line_addr: u64) -> Vec<u64> {
-        self.entries.remove(&line_addr).unwrap_or_default()
+        match self.entries.remove(&line_addr) {
+            Some(targets) => {
+                self.trace.emit(|| TraceEvent::MshrComplete {
+                    space: self.space,
+                    la: line_addr,
+                });
+                targets
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Whether `line_addr` currently has an in-flight fill.

@@ -240,6 +240,29 @@ impl TwoPartConfig {
         self.refresh_slack_ticks = slack;
         self
     }
+
+    /// Derives the invariant-checker thresholds this geometry's retention
+    /// protocol promises: LR hits and expiries bounded by the LR retention
+    /// period, refreshes confined to the configured tail of that period,
+    /// HR hits and expiries bounded by the last-tick invalidation horizon.
+    ///
+    /// The returned config carries no timing slack; callers add the
+    /// maintenance cadence via
+    /// [`CheckConfig::with_slack_ns`](sttgpu_trace::CheckConfig::with_slack_ns).
+    pub fn check_config(&self) -> sttgpu_trace::CheckConfig {
+        let lr_rc = crate::RetentionTracker::new(self.lr_retention, self.lr_rc_bits);
+        let hr_rc = crate::RetentionTracker::new(self.hr_retention, self.hr_rc_bits);
+        let hr_horizon_ns = hr_rc.tick_ns() * hr_rc.max_count();
+        sttgpu_trace::CheckConfig {
+            lr_max_hit_age_ns: lr_rc.retention_ns(),
+            lr_tail_start_ns: lr_rc
+                .refresh_deadline_with_slack_ns(0, self.refresh_slack_ticks as u64),
+            lr_min_expire_age_ns: lr_rc.retention_ns(),
+            hr_max_hit_age_ns: hr_horizon_ns,
+            hr_min_expire_age_ns: hr_horizon_ns,
+            slack_ns: 0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use sttgpu_cache::{AccessKind, BankArbiter, ReplacementPolicy, SetAssocCache};
 use sttgpu_device::array::{ArrayDesign, ArrayGeometry};
 use sttgpu_device::cell::MemTechnology;
 use sttgpu_device::energy::{EnergyAccount, EnergyEvent};
+use sttgpu_trace::{PartId, Trace, TraceEvent};
 
 use crate::TwoPartLlc;
 
@@ -143,6 +144,7 @@ pub struct SingleLlc {
     arbiter: BankArbiter,
     design: ArrayDesign,
     energy: EnergyAccount,
+    trace: Trace,
     stats_writebacks: u64,
     tag_ns: u64,
     read_ns: u64,
@@ -169,6 +171,7 @@ impl SingleLlc {
             arbiter: BankArbiter::new(banks as usize),
             design,
             energy,
+            trace: Trace::off(),
             stats_writebacks: 0,
             tag_ns: design.tag_latency_ns().ceil() as u64,
             read_ns: design.read_latency_ns().ceil() as u64,
@@ -181,6 +184,19 @@ impl SingleLlc {
     /// The priced array design behind this LLC.
     pub fn design(&self) -> &ArrayDesign {
         &self.design
+    }
+
+    /// Attaches a trace sink observing this cache's events.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    fn deposit(&mut self, ev: EnergyEvent, nj: f64) {
+        self.energy.deposit(ev, nj);
+        self.trace.emit(|| TraceEvent::EnergyDeposit {
+            category: ev.index() as u8,
+            nj,
+        });
     }
 
     /// Data capacity, KB.
@@ -196,10 +212,16 @@ impl LlcModel for SingleLlc {
 
     fn probe(&mut self, byte_addr: u64, kind: AccessKind, now_ns: u64) -> ProbeOutcome {
         let la = self.cache.line_addr(byte_addr);
-        self.energy
-            .deposit(EnergyEvent::TagLookup, self.design.tag_energy_nj());
+        self.deposit(EnergyEvent::TagLookup, self.design.tag_energy_nj());
         let tag_done = now_ns + self.tag_ns;
         if self.cache.lookup(la, kind, now_ns).is_some() {
+            self.trace.emit(|| TraceEvent::Hit {
+                part: PartId::Mono,
+                la,
+                write: kind.is_write(),
+                now_ns,
+                written_at_ns: now_ns,
+            });
             let bank = self.arbiter.bank_of(la);
             // The bank is blocked for the (pipelined) occupancy; the
             // requester waits for the full access latency.
@@ -218,7 +240,7 @@ impl LlcModel for SingleLlc {
                     self.design.read_energy_nj(),
                 )
             };
-            self.energy.deposit(ev, nj);
+            self.deposit(ev, nj);
             let start = self.arbiter.reserve(bank, tag_done, occupancy);
             ProbeOutcome {
                 hit: true,
@@ -226,6 +248,11 @@ impl LlcModel for SingleLlc {
                 writebacks: 0,
             }
         } else {
+            self.trace.emit(|| TraceEvent::Miss {
+                la,
+                write: kind.is_write(),
+                now_ns,
+            });
             ProbeOutcome {
                 hit: false,
                 ready_ns: tag_done,
@@ -236,21 +263,30 @@ impl LlcModel for SingleLlc {
 
     fn fill(&mut self, byte_addr: u64, dirty: bool, now_ns: u64) -> FillOutcome {
         let la = self.cache.line_addr(byte_addr);
-        self.energy
-            .deposit(EnergyEvent::DataWrite, self.design.write_energy_nj());
+        self.deposit(EnergyEvent::DataWrite, self.design.write_energy_nj());
         // Fills drain through fill buffers into idle bank slots, so they
         // cost energy and latency but do not block demand accesses.
         let start = now_ns;
         let mut writebacks = 0;
         if let Some(victim) = self.cache.fill(la, dirty, now_ns) {
+            self.trace.emit(|| TraceEvent::Evict {
+                part: PartId::Mono,
+                la: victim.line_addr,
+                wrote_back: victim.dirty,
+                now_ns,
+            });
             if victim.dirty {
                 writebacks += 1;
                 self.stats_writebacks += 1;
                 // Reading the victim out for write-back costs a data read.
-                self.energy
-                    .deposit(EnergyEvent::Writeback, self.design.read_energy_nj());
+                self.deposit(EnergyEvent::Writeback, self.design.read_energy_nj());
             }
         }
+        self.trace.emit(|| TraceEvent::Fill {
+            part: PartId::Mono,
+            la,
+            now_ns,
+        });
         FillOutcome {
             ready_ns: start + self.write_ns,
             writebacks,
@@ -286,6 +322,7 @@ impl LlcModel for SingleLlc {
         self.cache.reset_stats();
         self.energy.reset();
         self.stats_writebacks = 0;
+        self.trace.emit(|| TraceEvent::ResetMeasurement);
     }
 }
 
@@ -310,6 +347,14 @@ impl AnyLlc {
         match self {
             AnyLlc::Single(_) => None,
             AnyLlc::TwoPart(t) => Some(t),
+        }
+    }
+
+    /// Attaches a trace sink observing this cache's events.
+    pub fn set_trace(&mut self, trace: Trace) {
+        match self {
+            AnyLlc::Single(s) => s.set_trace(trace),
+            AnyLlc::TwoPart(t) => t.set_trace(trace),
         }
     }
 

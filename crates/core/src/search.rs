@@ -29,6 +29,15 @@ impl Part {
     }
 }
 
+impl From<Part> for sttgpu_trace::PartId {
+    fn from(p: Part) -> Self {
+        match p {
+            Part::Lr => sttgpu_trace::PartId::Lr,
+            Part::Hr => sttgpu_trace::PartId::Hr,
+        }
+    }
+}
+
 /// Chooses the probe order for an access type.
 ///
 /// # Example

@@ -8,6 +8,7 @@ use sttgpu_device::array::{ArrayDesign, ArrayGeometry};
 use sttgpu_device::cell::MemTechnology;
 use sttgpu_device::energy::{EnergyAccount, EnergyEvent};
 use sttgpu_stats::Histogram;
+use sttgpu_trace::{BufferDir, PartId, Trace, TraceEvent};
 
 use crate::config::{SearchMode, TwoPartConfig};
 use crate::llc::{FillOutcome, LlcModel, LlcStats, ProbeOutcome};
@@ -176,6 +177,7 @@ pub struct TwoPartLlc {
     hr_to_lr: SwapBuffer,
     lr_to_hr: SwapBuffer,
     energy: EnergyAccount,
+    trace: Trace,
     stats: TwoPartStats,
     lr_rewrite_intervals: Histogram,
     hr_rewrite_intervals: Histogram,
@@ -245,6 +247,7 @@ impl TwoPartLlc {
             hr_to_lr: SwapBuffer::new(cfg.buffer_blocks),
             lr_to_hr: SwapBuffer::new(cfg.buffer_blocks),
             energy,
+            trace: Trace::off(),
             stats: TwoPartStats::default(),
             lr_rewrite_intervals: Histogram::new(&REWRITE_BUCKET_BOUNDS_NS),
             hr_rewrite_intervals: Histogram::new(&REWRITE_BUCKET_BOUNDS_NS),
@@ -271,6 +274,23 @@ impl TwoPartLlc {
     /// The configuration this LLC was built from.
     pub fn config(&self) -> &TwoPartConfig {
         &self.cfg
+    }
+
+    /// Attaches a trace sink; every protocol action (hits, fills,
+    /// migrations, refreshes, expiries, buffer traffic, energy deposits)
+    /// is emitted through it.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// Deposits energy and mirrors the deposit into the trace, so a
+    /// checker can prove the ledger equals the sum of its events.
+    fn deposit(&mut self, ev: EnergyEvent, nj: f64) {
+        self.energy.deposit(ev, nj);
+        self.trace.emit(|| TraceEvent::EnergyDeposit {
+            category: ev.index() as u8,
+            nj,
+        });
     }
 
     /// Architecture-specific statistics.
@@ -357,7 +377,7 @@ impl TwoPartLlc {
             Part::Lr => self.lr_design.tag_energy_nj(),
             Part::Hr => self.hr_design.tag_energy_nj(),
         };
-        self.energy.deposit(EnergyEvent::TagLookup, nj);
+        self.deposit(EnergyEvent::TagLookup, nj);
     }
 
     /// Services a read hit in `part`. Returns completion time.
@@ -366,8 +386,7 @@ impl TwoPartLlc {
             Part::Lr => {
                 self.lr.lookup(la, AccessKind::Read, now_ns);
                 self.stats.lr_read_hits += 1;
-                self.energy
-                    .deposit(EnergyEvent::DataRead, self.lr_design.read_energy_nj());
+                self.deposit(EnergyEvent::DataRead, self.lr_design.read_energy_nj());
                 let bank = self.lr_arb.bank_of(la);
                 let start = self.lr_arb.reserve(bank, tag_done_ns, self.lr_read_occ_ns);
                 start + self.lr_read_ns
@@ -375,8 +394,7 @@ impl TwoPartLlc {
             Part::Hr => {
                 self.hr.lookup(la, AccessKind::Read, now_ns);
                 self.stats.hr_read_hits += 1;
-                self.energy
-                    .deposit(EnergyEvent::DataRead, self.hr_design.read_energy_nj());
+                self.deposit(EnergyEvent::DataRead, self.hr_design.read_energy_nj());
                 let bank = self.hr_arb.bank_of(la);
                 let start = self.hr_arb.reserve(bank, tag_done_ns, self.hr_read_occ_ns);
                 start + self.hr_read_ns
@@ -401,8 +419,7 @@ impl TwoPartLlc {
         self.stats.lr_write_hits += 1;
         self.stats.demand_writes_lr += 1;
         self.stats.lr_array_writes += 1;
-        self.energy
-            .deposit(EnergyEvent::DataWrite, self.lr_design.write_energy_nj());
+        self.deposit(EnergyEvent::DataWrite, self.lr_design.write_energy_nj());
         let bank = self.lr_arb.bank_of(la);
         let start = self.lr_arb.reserve(bank, tag_done_ns, self.lr_write_occ_ns);
         start + self.lr_write_ns
@@ -429,15 +446,24 @@ impl TwoPartLlc {
             // buffers decouple the arrays' latencies), so demand banks
             // stay free; the buffer capacity is the bandwidth limit.
             let read_done = tag_done_ns + self.hr_read_ns;
-            self.energy
-                .deposit(EnergyEvent::DataRead, self.hr_design.read_energy_nj());
+            self.deposit(EnergyEvent::DataRead, self.hr_design.read_energy_nj());
             let write_done = read_done + self.lr_write_ns;
 
             if self.hr_to_lr.try_reserve(now_ns, write_done) {
-                self.energy.deposit(EnergyEvent::Buffer, BUFFER_ENERGY_NJ);
-                self.energy
-                    .deposit(EnergyEvent::Migration, self.lr_design.write_energy_nj());
+                self.trace.emit(|| TraceEvent::BufferAdmit {
+                    dir: BufferDir::HrToLr,
+                    la,
+                    now_ns,
+                });
+                self.deposit(EnergyEvent::Buffer, BUFFER_ENERGY_NJ);
+                self.deposit(EnergyEvent::Migration, self.lr_design.write_energy_nj());
                 let victim = self.hr.extract(la).expect("hit line must extract");
+                self.trace.emit(|| TraceEvent::Evict {
+                    part: PartId::Hr,
+                    la,
+                    wrote_back: false,
+                    now_ns,
+                });
                 self.stats.migrations_to_lr += 1;
                 self.stats.demand_writes_lr += 1;
                 self.stats.lr_array_writes += 1;
@@ -451,6 +477,16 @@ impl TwoPartLlc {
                     },
                     now_ns,
                 );
+                self.trace.emit(|| TraceEvent::Fill {
+                    part: PartId::Lr,
+                    la,
+                    now_ns,
+                });
+                self.trace.emit(|| TraceEvent::BufferInstall {
+                    dir: BufferDir::HrToLr,
+                    la,
+                    now_ns,
+                });
                 self.note_lr_write(la, now_ns);
                 if let Some(lr_victim) = evicted {
                     writebacks += self.demote(lr_victim, now_ns);
@@ -458,6 +494,11 @@ impl TwoPartLlc {
                 (write_done, writebacks)
             } else {
                 // Buffer full: fall back to servicing the write in HR.
+                self.trace.emit(|| TraceEvent::BufferOverflow {
+                    dir: BufferDir::HrToLr,
+                    la,
+                    now_ns,
+                });
                 let wb = self.hr_write_in_place(la, tag_done_ns, now_ns);
                 (wb, 0)
             }
@@ -475,8 +516,7 @@ impl TwoPartLlc {
         self.note_hr_write(la, now_ns);
         self.stats.demand_writes_hr += 1;
         self.stats.hr_array_writes += 1;
-        self.energy
-            .deposit(EnergyEvent::DataWrite, self.hr_design.write_energy_nj());
+        self.deposit(EnergyEvent::DataWrite, self.hr_design.write_energy_nj());
         let bank = self.hr_arb.bank_of(la);
         let start = self.hr_arb.reserve(bank, tag_done_ns, self.hr_write_occ_ns);
         start + self.hr_write_ns
@@ -492,26 +532,45 @@ impl TwoPartLlc {
         // migration"). The victim moves as soon as it is extracted, so
         // buffer slots are held for the fixed read+write hop only.
         let read_done = now_ns + self.lr_read_ns;
-        self.energy
-            .deposit(EnergyEvent::DataRead, self.lr_design.read_energy_nj());
+        self.deposit(EnergyEvent::DataRead, self.lr_design.read_energy_nj());
         let write_done = read_done + self.hr_write_ns;
 
         if !self.lr_to_hr.try_reserve(now_ns, write_done) {
             // Buffer full: force the block out to DRAM (paper's data-loss
             // avoidance rule); clean blocks are simply dropped.
+            self.trace.emit(|| TraceEvent::BufferOverflow {
+                dir: BufferDir::LrToHr,
+                la: victim.line_addr,
+                now_ns,
+            });
+            self.trace.emit(|| TraceEvent::Evict {
+                part: PartId::Lr,
+                la: victim.line_addr,
+                wrote_back: victim.dirty,
+                now_ns,
+            });
             if victim.dirty {
                 self.stats.writebacks += 1;
                 self.stats.overflow_writebacks += 1;
-                self.energy
-                    .deposit(EnergyEvent::Writeback, self.lr_design.read_energy_nj());
+                self.deposit(EnergyEvent::Writeback, self.lr_design.read_energy_nj());
                 return 1;
             }
             return 0;
         }
 
-        self.energy.deposit(EnergyEvent::Buffer, BUFFER_ENERGY_NJ);
-        self.energy
-            .deposit(EnergyEvent::Migration, self.hr_design.write_energy_nj());
+        self.trace.emit(|| TraceEvent::Evict {
+            part: PartId::Lr,
+            la: victim.line_addr,
+            wrote_back: false,
+            now_ns,
+        });
+        self.trace.emit(|| TraceEvent::BufferAdmit {
+            dir: BufferDir::LrToHr,
+            la: victim.line_addr,
+            now_ns,
+        });
+        self.deposit(EnergyEvent::Buffer, BUFFER_ENERGY_NJ);
+        self.deposit(EnergyEvent::Migration, self.hr_design.write_energy_nj());
         self.stats.demotions_to_hr += 1;
         self.stats.hr_array_writes += 1;
         // Write counts restart for the new HR residency: the WWS monitor
@@ -526,13 +585,28 @@ impl TwoPartLlc {
             },
             now_ns,
         ) {
+            self.trace.emit(|| TraceEvent::Evict {
+                part: PartId::Hr,
+                la: hr_victim.line_addr,
+                wrote_back: hr_victim.dirty,
+                now_ns,
+            });
             if hr_victim.dirty {
                 writebacks += 1;
                 self.stats.writebacks += 1;
-                self.energy
-                    .deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
+                self.deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
             }
         }
+        self.trace.emit(|| TraceEvent::Fill {
+            part: PartId::Hr,
+            la: victim.line_addr,
+            now_ns,
+        });
+        self.trace.emit(|| TraceEvent::BufferInstall {
+            dir: BufferDir::LrToHr,
+            la: victim.line_addr,
+            now_ns,
+        });
         self.note_hr_write(victim.line_addr, now_ns);
         writebacks
     }
@@ -547,10 +621,14 @@ impl TwoPartLlc {
         // `flush_into` returns only dirty lines; clean LR lines do not
         // exist (everything in LR arrived via a write), but be permissive.
         for victim in victims.drain(..) {
-            self.energy
-                .deposit(EnergyEvent::DataRead, self.lr_design.read_energy_nj());
-            self.energy
-                .deposit(EnergyEvent::Migration, self.hr_design.write_energy_nj());
+            self.trace.emit(|| TraceEvent::Evict {
+                part: PartId::Lr,
+                la: victim.line_addr,
+                wrote_back: false,
+                now_ns,
+            });
+            self.deposit(EnergyEvent::DataRead, self.lr_design.read_energy_nj());
+            self.deposit(EnergyEvent::Migration, self.hr_design.write_energy_nj());
             self.stats.demotions_to_hr += 1;
             self.stats.hr_array_writes += 1;
             if let Some(hr_victim) = self.hr.fill_with(
@@ -562,12 +640,22 @@ impl TwoPartLlc {
                 },
                 now_ns,
             ) {
+                self.trace.emit(|| TraceEvent::Evict {
+                    part: PartId::Hr,
+                    la: hr_victim.line_addr,
+                    wrote_back: hr_victim.dirty,
+                    now_ns,
+                });
                 if hr_victim.dirty {
                     self.stats.writebacks += 1;
-                    self.energy
-                        .deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
+                    self.deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
                 }
             }
+            self.trace.emit(|| TraceEvent::Fill {
+                part: PartId::Hr,
+                la: victim.line_addr,
+                now_ns,
+            });
             self.note_hr_write(victim.line_addr, now_ns);
         }
         self.rotation_scratch = victims;
@@ -621,6 +709,31 @@ impl LlcModel for TwoPartLlc {
             }
         };
 
+        // Emit the outcome before the service routines update the line's
+        // retention clock, so the event carries the age the hit was
+        // actually served at.
+        match hit_part {
+            Some(part) => self.trace.emit(|| {
+                let written_at_ns = match part {
+                    Part::Lr => self.lr.peek(la),
+                    Part::Hr => self.hr.peek(la),
+                }
+                .map_or(now_ns, |l| l.meta.written_at_ns);
+                TraceEvent::Hit {
+                    part: part.into(),
+                    la,
+                    write: kind.is_write(),
+                    now_ns,
+                    written_at_ns,
+                }
+            }),
+            None => self.trace.emit(|| TraceEvent::Miss {
+                la,
+                write: kind.is_write(),
+                now_ns,
+            }),
+        }
+
         match (hit_part, kind) {
             (Some(part), AccessKind::Read) => {
                 let ready = self.service_read(part, la, tag_done_ns, now_ns);
@@ -672,8 +785,7 @@ impl LlcModel for TwoPartLlc {
             self.stats.fills_to_lr += 1;
             self.stats.demand_writes_lr += 1;
             self.stats.lr_array_writes += 1;
-            self.energy
-                .deposit(EnergyEvent::DataWrite, self.lr_design.write_energy_nj());
+            self.deposit(EnergyEvent::DataWrite, self.lr_design.write_energy_nj());
             // Fills drain through fill buffers into idle bank slots.
             ready_ns = now_ns + self.lr_write_ns;
             if let Some(victim) = self.lr.fill_with(
@@ -687,6 +799,11 @@ impl LlcModel for TwoPartLlc {
             ) {
                 writebacks += self.demote(victim, now_ns);
             }
+            self.trace.emit(|| TraceEvent::Fill {
+                part: PartId::Lr,
+                la,
+                now_ns,
+            });
             self.note_lr_write(la, now_ns);
         } else {
             self.stats.fills_to_hr += 1;
@@ -694,8 +811,7 @@ impl LlcModel for TwoPartLlc {
                 self.stats.demand_writes_hr += 1;
             }
             self.stats.hr_array_writes += 1;
-            self.energy
-                .deposit(EnergyEvent::DataWrite, self.hr_design.write_energy_nj());
+            self.deposit(EnergyEvent::DataWrite, self.hr_design.write_energy_nj());
             // Fills drain through fill buffers into idle bank slots.
             ready_ns = now_ns + self.hr_write_ns;
             if let Some(victim) = self.hr.fill_with(
@@ -707,13 +823,23 @@ impl LlcModel for TwoPartLlc {
                 },
                 now_ns,
             ) {
+                self.trace.emit(|| TraceEvent::Evict {
+                    part: PartId::Hr,
+                    la: victim.line_addr,
+                    wrote_back: victim.dirty,
+                    now_ns,
+                });
                 if victim.dirty {
                     writebacks += 1;
                     self.stats.writebacks += 1;
-                    self.energy
-                        .deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
+                    self.deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
                 }
             }
+            self.trace.emit(|| TraceEvent::Fill {
+                part: PartId::Hr,
+                la,
+                now_ns,
+            });
             self.note_hr_write(la, now_ns);
         }
         FillOutcome {
@@ -751,13 +877,19 @@ impl LlcModel for TwoPartLlc {
                 // Maintenance cadence was violated: data already lost.
                 self.stats.lr_expirations += 1;
                 if let Some(victim) = self.lr.extract(la) {
+                    self.trace.emit(|| TraceEvent::Expire {
+                        part: PartId::Lr,
+                        la,
+                        written_at_ns: stamp,
+                        wrote_back: victim.dirty,
+                        now_ns,
+                    });
                     if victim.dirty {
                         // Account the (unrecoverable in hardware) loss as a
                         // write-back so the simulation stays functionally
                         // consistent; `lr_expirations` flags the violation.
                         self.stats.writebacks += 1;
-                        self.energy
-                            .deposit(EnergyEvent::Writeback, self.lr_design.read_energy_nj());
+                        self.deposit(EnergyEvent::Writeback, self.lr_design.read_energy_nj());
                     }
                 }
                 continue;
@@ -766,25 +898,50 @@ impl LlcModel for TwoPartLlc {
             // Runs on the migration port; costs energy and a buffer slot.
             let done = now_ns + self.lr_read_ns + self.lr_write_ns;
             if self.lr_to_hr.try_reserve(now_ns, done) {
-                self.energy.deposit(
+                self.trace.emit(|| TraceEvent::BufferAdmit {
+                    dir: BufferDir::LrToHr,
+                    la,
+                    now_ns,
+                });
+                self.trace.emit(|| TraceEvent::Refresh {
+                    la,
+                    written_at_ns: stamp,
+                    now_ns,
+                });
+                self.deposit(
                     EnergyEvent::Refresh,
                     self.lr_design.read_energy_nj() + self.lr_design.write_energy_nj(),
                 );
-                self.energy.deposit(EnergyEvent::Buffer, BUFFER_ENERGY_NJ);
+                self.deposit(EnergyEvent::Buffer, BUFFER_ENERGY_NJ);
                 self.stats.refreshes += 1;
                 self.stats.lr_array_writes += 1;
                 if let Some(line) = self.lr.peek_mut(la) {
                     line.meta.written_at_ns = now_ns;
                 }
+                self.trace.emit(|| TraceEvent::BufferInstall {
+                    dir: BufferDir::LrToHr,
+                    la,
+                    now_ns,
+                });
                 self.note_lr_write(la, now_ns);
             } else if let Some(victim) = self.lr.extract(la) {
                 // No buffer slot before expiry: evacuate instead of losing
                 // data — dirty lines go to DRAM, clean lines are dropped.
+                self.trace.emit(|| TraceEvent::BufferOverflow {
+                    dir: BufferDir::LrToHr,
+                    la,
+                    now_ns,
+                });
+                self.trace.emit(|| TraceEvent::Evict {
+                    part: PartId::Lr,
+                    la,
+                    wrote_back: victim.dirty,
+                    now_ns,
+                });
                 if victim.dirty {
                     self.stats.writebacks += 1;
                     self.stats.overflow_writebacks += 1;
-                    self.energy
-                        .deposit(EnergyEvent::Writeback, self.lr_design.read_energy_nj());
+                    self.deposit(EnergyEvent::Writeback, self.lr_design.read_energy_nj());
                 }
             }
         }
@@ -806,10 +963,16 @@ impl LlcModel for TwoPartLlc {
             }
             self.stats.hr_expirations += 1;
             if let Some(victim) = self.hr.extract(la) {
+                self.trace.emit(|| TraceEvent::Expire {
+                    part: PartId::Hr,
+                    la,
+                    written_at_ns: stamp,
+                    wrote_back: victim.dirty,
+                    now_ns,
+                });
                 if victim.dirty {
                     self.stats.writebacks += 1;
-                    self.energy
-                        .deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
+                    self.deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
                 }
             }
         }
@@ -853,6 +1016,7 @@ impl LlcModel for TwoPartLlc {
         self.wws.reset_stats();
         self.hr_to_lr.reset();
         self.lr_to_hr.reset();
+        self.trace.emit(|| TraceEvent::ResetMeasurement);
     }
 }
 

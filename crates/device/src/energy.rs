@@ -39,7 +39,9 @@ impl EnergyEvent {
         EnergyEvent::Writeback,
     ];
 
-    fn index(self) -> usize {
+    /// Position of this category in [`EnergyEvent::ALL`] — the category
+    /// code used by the trace layer's energy-conservation events.
+    pub fn index(self) -> usize {
         match self {
             EnergyEvent::TagLookup => 0,
             EnergyEvent::DataRead => 1,

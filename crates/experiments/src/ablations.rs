@@ -185,6 +185,7 @@ pub fn hr_retention(exec: &Executor, plan: &RunPlan) -> Vec<HrRetentionRow> {
     let plan = &RunPlan {
         scale: plan.scale * 4.0,
         max_cycles: plan.max_cycles * 4,
+        check: false,
     };
     let w = suite::by_name("streamcluster").expect("streamcluster");
     // Point 0 is the unmodified C1 (the IPC normalisation base); it goes
@@ -678,6 +679,7 @@ mod tests {
         RunPlan {
             scale: 0.05,
             max_cycles: 3_000_000,
+            check: false,
         }
     }
 
@@ -709,6 +711,7 @@ mod tests {
         let plan = RunPlan {
             scale: 0.2,
             max_cycles: 6_000_000,
+            check: false,
         };
         let rows = endurance(&Executor::auto(), &plan);
         // Across the write-hot subset, rotation must improve leveling
@@ -728,6 +731,7 @@ mod tests {
         let plan = RunPlan {
             scale: 0.2,
             max_cycles: 6_000_000,
+            check: false,
         };
         let rows = refresh_timing(&Executor::auto(), &plan);
         let lazy = rows.iter().find(|r| r.slack_ticks == 0).expect("slack 0");

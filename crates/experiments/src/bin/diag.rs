@@ -1,9 +1,41 @@
 //! Developer diagnostic: per-workload, per-config dump of the raw
 //! quantities behind Fig. 8 (not a paper artefact).
+//!
+//! `--trace-jsonl PATH` switches to trace-dump mode: the first named
+//! workload (default `kmeans`) runs once on the two-part C1 configuration
+//! with a streaming JSONL sink attached, writing one typed event per line
+//! to PATH for offline inspection.
 
-use sttgpu_experiments::configs::L2Choice;
+use std::cell::RefCell;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::rc::Rc;
+
+use sttgpu_experiments::configs::{gpu_config, L2Choice};
 use sttgpu_experiments::runner::{run, RunPlan};
+use sttgpu_sim::Gpu;
+use sttgpu_trace::{JsonlSink, Trace};
 use sttgpu_workloads::suite;
+
+fn dump_trace(path: &str, name: &str, plan: &RunPlan) {
+    let w = suite::by_name(name).expect("workload");
+    let scaled = suite::scaled(&w, plan.scale);
+    let file = BufWriter::new(File::create(path).expect("create trace file"));
+    let sink = Rc::new(RefCell::new(JsonlSink::new(file)));
+    let mut gpu = Gpu::new(gpu_config(L2Choice::TwoPartC1));
+    gpu.set_trace(Trace::to_sink(Rc::clone(&sink)));
+    let metrics = gpu.run_workload(&scaled, plan.max_cycles);
+    drop(gpu);
+    let sink = Rc::try_unwrap(sink)
+        .unwrap_or_else(|_| unreachable!("gpu dropped its trace handles"))
+        .into_inner();
+    let written = sink.written();
+    sink.into_inner().flush().expect("flush trace file");
+    println!(
+        "wrote {written} events to {path} ({name} @ scale {}, {} cycles, finished: {})",
+        plan.scale, metrics.cycles, metrics.finished
+    );
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,19 +45,42 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.1);
-    let names: Vec<String> = args
+    let trace_jsonl: Option<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && a.parse::<f64>().is_err())
-        .cloned()
-        .collect();
-    let names = if names.is_empty() {
-        suite::names()
-    } else {
-        names
+        .position(|a| a == "--trace-jsonl")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let names: Vec<String> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--scale" || *a == "--trace-jsonl" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .cloned()
+            .collect()
     };
     let plan = RunPlan {
         scale,
         max_cycles: 6_000_000,
+        check: false,
+    };
+    if let Some(path) = trace_jsonl {
+        let name = names.first().map(String::as_str).unwrap_or("kmeans");
+        dump_trace(&path, name, &plan);
+        return;
+    }
+    let names = if names.is_empty() {
+        suite::names()
+    } else {
+        names
     };
     for name in names {
         let w = suite::by_name(&name).expect("workload");

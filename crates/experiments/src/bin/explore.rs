@@ -30,6 +30,7 @@ struct Options {
     hr_retention_ms: f64,
     hr_kb: u64,
     jobs: Option<usize>,
+    check: bool,
 }
 
 impl Default for Options {
@@ -42,6 +43,7 @@ impl Default for Options {
             hr_retention_ms: 4.0,
             hr_kb: 1344,
             jobs: None,
+            check: false,
         }
     }
 }
@@ -92,6 +94,7 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.jobs = Some(n);
             }
+            "--check" => opts.check = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument {other}")),
         }
@@ -107,7 +110,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: explore [--workload NAME] [--scale F] [--jobs N] [--lr-kb A,B,..]\n\
+                "usage: explore [--workload NAME] [--scale F] [--jobs N] [--check] [--lr-kb A,B,..]\n\
                  \t[--lr-retention-us A,B,..] [--hr-retention-ms X] [--hr-kb N]"
             );
             return ExitCode::FAILURE;
@@ -125,6 +128,7 @@ fn main() -> ExitCode {
     let plan = RunPlan {
         scale: opts.scale,
         max_cycles: 20_000_000,
+        check: opts.check,
     };
 
     let exec = match opts.jobs {
@@ -200,5 +204,22 @@ fn main() -> ExitCode {
             &rows
         )
     );
+    if opts.check {
+        let stats = exec.stats();
+        if stats.violations > 0 {
+            eprintln!(
+                "CHECK FAILED: {} invariant violation(s) across {} runs",
+                stats.violations, stats.runs_executed
+            );
+            for s in exec.violation_samples() {
+                eprintln!("  {s}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "check passed: 0 invariant violations across {} runs",
+            stats.runs_executed
+        );
+    }
     ExitCode::SUCCESS
 }

@@ -7,6 +7,7 @@
 //! repro --quick all       # scale 0.25 everywhere
 //! repro --jobs 8 all      # executor thread count (default: all cores)
 //! repro --out results all # also write <artefact>.txt/.csv under results/
+//! repro all --check       # attach the runtime invariant checker
 //! ```
 //!
 //! All artefacts share one [`Executor`], so a simulation needed by several
@@ -40,7 +41,7 @@ const ARTEFACTS: [&str; 9] = [
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--quick] [--scale F] [--jobs N] [--out DIR] <all|{}> ...",
+        "usage: repro [--quick] [--scale F] [--jobs N] [--out DIR] [--check] <all|{}> ...",
         ARTEFACTS.join("|")
     );
     ExitCode::FAILURE
@@ -123,6 +124,7 @@ fn main() -> ExitCode {
     let mut targets: Vec<String> = Vec::new();
     let mut out_dir: Option<PathBuf> = None;
     let mut jobs: Option<usize> = None;
+    let mut check = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -151,6 +153,7 @@ fn main() -> ExitCode {
                 };
                 out_dir = Some(PathBuf::from(dir));
             }
+            "--check" => check = true,
             "-h" | "--help" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -164,6 +167,7 @@ fn main() -> ExitCode {
     if targets.iter().any(|t| t == "all") {
         targets = ARTEFACTS.iter().map(|s| s.to_string()).collect();
     }
+    plan = plan.with_check(check);
     let exec = match jobs {
         Some(n) => Executor::new(n),
         None => Executor::auto(),
@@ -228,5 +232,21 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("# timings written to {}", bench_path.display());
+    if check {
+        if stats.violations > 0 {
+            eprintln!(
+                "# CHECK FAILED: {} invariant violation(s) across {} runs",
+                stats.violations, stats.runs_executed
+            );
+            for s in exec.violation_samples() {
+                eprintln!("#   {s}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "# check passed: 0 invariant violations across {} runs",
+            stats.runs_executed
+        );
+    }
     ExitCode::SUCCESS
 }

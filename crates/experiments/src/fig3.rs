@@ -93,6 +93,7 @@ mod tests {
         let plan = RunPlan {
             scale: 0.08,
             max_cycles: 3_000_000,
+            check: false,
         };
         let rows = compute(&Executor::auto(), &plan);
         let get = |name: &str| {

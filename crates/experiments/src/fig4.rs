@@ -151,6 +151,7 @@ mod tests {
         let plan = RunPlan {
             scale: 0.06,
             max_cycles: 3_000_000,
+            check: false,
         };
         // A write-hot subset is enough to check the trend cheaply.
         let exec = Executor::sequential();

@@ -152,6 +152,7 @@ mod tests {
         let plan = RunPlan {
             scale: 0.06,
             max_cycles: 3_000_000,
+            check: false,
         };
         let exec = Executor::sequential();
         let w = suite::by_name("kmeans").expect("kmeans");

@@ -95,6 +95,7 @@ mod tests {
         let plan = RunPlan {
             scale: 0.06,
             max_cycles: 3_000_000,
+            check: false,
         };
         let w = suite::by_name("kmeans").expect("kmeans");
         let out = crate::runner::run(L2Choice::TwoPartC1, &w, &plan);

@@ -221,6 +221,7 @@ mod tests {
         let plan = RunPlan {
             scale: 0.3,
             max_cycles: 3_000_000,
+            check: false,
         };
         let w = suite::by_name("nw").expect("nw");
         let base = run(L2Choice::SramBaseline, &w, &plan);
@@ -240,6 +241,7 @@ mod tests {
         let plan = RunPlan {
             scale: 0.08,
             max_cycles: 3_000_000,
+            check: false,
         };
         let w = suite::by_name("lud").expect("lud");
         let base = run(L2Choice::SramBaseline, &w, &plan);

@@ -14,13 +14,19 @@
 //! Results always come back in **input order**, so tables and CSVs are
 //! byte-identical whether the executor runs with 1 job or 32.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use sttgpu_core::{LlcModel, TwoPartStats};
-use sttgpu_sim::{Gpu, GpuConfig, RunMetrics, Workload};
+use sttgpu_device::energy::EnergyEvent;
+use sttgpu_sim::{Gpu, GpuConfig, L2ModelConfig, RunMetrics, Workload};
 use sttgpu_stats::Histogram;
+use sttgpu_trace::{
+    CheckConfig, CheckReport, Checker, EventSink, Trace, TraceEvent, ENERGY_CATEGORIES,
+};
 use sttgpu_workloads::suite;
 
 use crate::configs::{gpu_config, L2Choice};
@@ -32,6 +38,10 @@ pub struct RunPlan {
     pub scale: f64,
     /// Cycle budget per workload run.
     pub max_cycles: u64,
+    /// Attach the runtime invariant checker to every simulation
+    /// (`--check`): events stream through a [`Checker`] and the
+    /// [`RunOutput::check`] report carries any violations.
+    pub check: bool,
 }
 
 impl RunPlan {
@@ -40,6 +50,7 @@ impl RunPlan {
         RunPlan {
             scale: 1.0,
             max_cycles: 6_000_000,
+            check: false,
         }
     }
 
@@ -48,6 +59,7 @@ impl RunPlan {
         RunPlan {
             scale: 0.25,
             max_cycles: 2_000_000,
+            check: false,
         }
     }
 
@@ -55,6 +67,12 @@ impl RunPlan {
     pub fn with_scale(mut self, scale: f64) -> Self {
         assert!(scale > 0.0);
         self.scale = scale;
+        self
+    }
+
+    /// A plan with the invariant checker switched on or off.
+    pub fn with_check(mut self, check: bool) -> Self {
+        self.check = check;
         self
     }
 }
@@ -81,6 +99,52 @@ pub struct RunOutput {
     pub hr_rewrite_intervals: Option<Histogram>,
     /// Cumulative per-(set, way) data-array write counts.
     pub write_matrix: Vec<Vec<u64>>,
+    /// Invariant-checker report when the plan ran with
+    /// [`check`](RunPlan::check) set; `None` otherwise.
+    pub check: Option<CheckReport>,
+}
+
+/// Builds the checker for `gpu`: retention thresholds from the two-part
+/// geometry (monolithic L2s get the everything-disabled defaults) plus
+/// timing slack covering the maintenance cadence and interconnect lag —
+/// probes time-stamp at icnt arrival, up to one maintenance interval
+/// (plus traversal latency and port queueing) after the retention
+/// engines last ran.
+fn checker_for(gpu: &Gpu) -> Checker {
+    let base = match &gpu.config().l2 {
+        L2ModelConfig::TwoPart(tp) => tp.check_config(),
+        _ => CheckConfig::default(),
+    };
+    let interval = gpu.llc().maintenance_interval_ns();
+    let slack = if interval == u64::MAX {
+        0
+    } else {
+        interval + 4 * gpu.config().icnt_latency_ns + 2_000
+    };
+    Checker::new(base.with_slack_ns(slack))
+}
+
+/// Feeds the end-of-run conservation reports into `checker` and closes
+/// the run, returning the accumulated report.
+fn close_check(checker: &Rc<RefCell<Checker>>, metrics: &RunMetrics) -> CheckReport {
+    let mut c = checker.borrow_mut();
+    c.emit(&TraceEvent::MetricsReport {
+        read_hits: metrics.l2.read_hits,
+        read_misses: metrics.l2.read_misses,
+        write_hits: metrics.l2.write_hits,
+        write_misses: metrics.l2.write_misses,
+        writebacks: metrics.l2.writebacks,
+    });
+    let mut by_category = [0.0; ENERGY_CATEGORIES];
+    for ev in EnergyEvent::ALL {
+        by_category[ev.index()] = metrics.l2_energy.dynamic_nj_for(ev);
+    }
+    c.emit(&TraceEvent::EnergyReport {
+        by_category,
+        total_nj: metrics.l2_energy.dynamic_nj(),
+    });
+    c.finish_run(metrics.finished);
+    c.report()
 }
 
 /// Runs `workload` on a fully custom GPU configuration.
@@ -91,7 +155,13 @@ pub fn run_config(cfg: GpuConfig, workload: &Workload, plan: &RunPlan) -> RunOut
         suite::scaled(workload, plan.scale)
     };
     let mut gpu = Gpu::new(cfg);
+    let checker = plan.check.then(|| {
+        let checker = Rc::new(RefCell::new(checker_for(&gpu)));
+        gpu.set_trace(Trace::to_sink(Rc::clone(&checker)));
+        checker
+    });
     let metrics = gpu.run_workload(&scaled, plan.max_cycles);
+    let check = checker.map(|c| close_check(&c, &metrics));
     let llc = gpu.llc();
     let (two_part, lr_hist, hr_hist) = match llc.as_two_part() {
         Some(tp) => (
@@ -107,6 +177,7 @@ pub fn run_config(cfg: GpuConfig, workload: &Workload, plan: &RunPlan) -> RunOut
         lr_rewrite_intervals: lr_hist,
         hr_rewrite_intervals: hr_hist,
         write_matrix: llc.write_count_matrix(),
+        check,
     }
 }
 
@@ -118,7 +189,7 @@ pub fn run(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunOutput {
 /// Memoization key of one named-configuration run. `RunPlan` holds an
 /// `f64` scale, so the key stores its bit pattern (plans are constructed,
 /// not computed, so bit equality is the right notion here).
-type RunKey = (L2Choice, String, u64, u64);
+type RunKey = (L2Choice, String, u64, u64, bool);
 
 fn run_key(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunKey {
     (
@@ -126,6 +197,7 @@ fn run_key(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunKey {
         workload.name.clone(),
         plan.scale.to_bits(),
         plan.max_cycles,
+        plan.check,
     )
 }
 
@@ -138,6 +210,9 @@ pub struct ExecutorStats {
     pub cache_hits: u64,
     /// Total simulated GPU cycles across executed runs.
     pub cycles_simulated: u64,
+    /// Invariant violations across every checked run (0 when the plans
+    /// ran without [`RunPlan::check`]).
+    pub violations: u64,
 }
 
 /// A parallel, memoizing experiment runner.
@@ -156,6 +231,8 @@ pub struct Executor {
     runs_executed: AtomicU64,
     cache_hits: AtomicU64,
     cycles_simulated: AtomicU64,
+    violations: AtomicU64,
+    violation_samples: Mutex<Vec<String>>,
 }
 
 impl Executor {
@@ -192,13 +269,39 @@ impl Executor {
             runs_executed: self.runs_executed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cycles_simulated: self.cycles_simulated.load(Ordering::Relaxed),
+            violations: self.violations.load(Ordering::Relaxed),
         }
+    }
+
+    /// The first few violation descriptions accumulated across checked
+    /// runs (capped; empty when every run was clean).
+    pub fn violation_samples(&self) -> Vec<String> {
+        self.violation_samples
+            .lock()
+            .expect("executor samples poisoned")
+            .clone()
     }
 
     fn record_run(&self, out: &RunOutput) {
         self.runs_executed.fetch_add(1, Ordering::Relaxed);
         self.cycles_simulated
             .fetch_add(out.metrics.cycles, Ordering::Relaxed);
+        if let Some(check) = &out.check {
+            if !check.is_clean() {
+                self.violations
+                    .fetch_add(check.violations, Ordering::Relaxed);
+                let mut samples = self
+                    .violation_samples
+                    .lock()
+                    .expect("executor samples poisoned");
+                for s in &check.samples {
+                    if samples.len() >= 32 {
+                        break;
+                    }
+                    samples.push(s.clone());
+                }
+            }
+        }
     }
 
     /// Applies `f` to every item, fanning the calls across the worker
@@ -302,6 +405,7 @@ mod tests {
         RunPlan {
             scale: 0.05,
             max_cycles: 2_000_000,
+            check: false,
         }
     }
 
@@ -358,6 +462,7 @@ mod tests {
         let other = RunPlan {
             scale: 0.04,
             max_cycles: 2_000_000,
+            check: false,
         };
         let c = exec.run(L2Choice::SramBaseline, &w, &other);
         assert!(!Arc::ptr_eq(&a, &c));
@@ -401,6 +506,7 @@ mod tests {
             &RunPlan {
                 scale: 0.02,
                 max_cycles: 2_000_000,
+                check: false,
             },
         );
         assert!(smaller.metrics.instructions < small.metrics.instructions);

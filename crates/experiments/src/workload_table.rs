@@ -139,6 +139,7 @@ mod tests {
         let plan = RunPlan {
             scale: 0.08,
             max_cycles: 6_000_000,
+            check: false,
         };
         let rows = compute(&Executor::auto(), &plan);
         assert_eq!(rows.len(), 16);

@@ -35,6 +35,7 @@ pub struct Gpu {
     cfg: GpuConfig,
     sms: Vec<Sm>,
     mem: MemSystem,
+    trace: sttgpu_trace::Trace,
     cycle: u64,
 }
 
@@ -46,6 +47,7 @@ impl Gpu {
         Gpu {
             sms,
             mem,
+            trace: sttgpu_trace::Trace::off(),
             cfg,
             cycle: 0,
         }
@@ -54,6 +56,17 @@ impl Gpu {
     /// The configuration in use.
     pub fn config(&self) -> &GpuConfig {
         &self.cfg
+    }
+
+    /// Attaches one trace sink observing the whole machine: the L2 and
+    /// its miss tracker, every SM's launch invariants and L1 MSHRs, and
+    /// the grid dispatchers of subsequent runs.
+    pub fn set_trace(&mut self, trace: sttgpu_trace::Trace) {
+        self.mem.set_trace(trace.clone());
+        for sm in &mut self.sms {
+            sm.set_trace(trace.clone());
+        }
+        self.trace = trace;
     }
 
     /// The L2 under test (for deep inspection: two-part stats, write-count
@@ -106,6 +119,7 @@ impl Gpu {
             let kernel = Arc::new(kernel.clone());
             let kernel_seed = seed.wrapping_add(1 + k_idx as u64 * 0x10_0001);
             let mut dispatcher = GridDispatcher::new(Arc::clone(&kernel));
+            dispatcher.set_trace(self.trace.clone());
 
             loop {
                 if self.cycle >= deadline {

@@ -249,6 +249,7 @@ pub struct GridDispatcher {
     kernel: Arc<KernelParams>,
     next_block: u32,
     retired_blocks: u32,
+    trace: sttgpu_trace::Trace,
 }
 
 impl GridDispatcher {
@@ -258,7 +259,13 @@ impl GridDispatcher {
             kernel,
             next_block: 0,
             retired_blocks: 0,
+            trace: sttgpu_trace::Trace::off(),
         }
+    }
+
+    /// Attaches a trace sink observing the grid's retirement invariant.
+    pub fn set_trace(&mut self, trace: sttgpu_trace::Trace) {
+        self.trace = trace;
     }
 
     /// The kernel being dispatched.
@@ -280,7 +287,15 @@ impl GridDispatcher {
     /// Records a finished block.
     pub fn retire_block(&mut self) {
         self.retired_blocks += 1;
-        debug_assert!(self.retired_blocks <= self.kernel.blocks);
+        if self.retired_blocks > self.kernel.blocks {
+            // More retirements than the grid has blocks: double-counted
+            // completion somewhere upstream. The checker reports it.
+            self.trace.emit(|| sttgpu_trace::TraceEvent::OverRetire {
+                retired: self.retired_blocks,
+                blocks: self.kernel.blocks,
+            });
+            debug_assert!(self.retired_blocks <= self.kernel.blocks);
+        }
     }
 
     /// Whether every block of the grid has retired.

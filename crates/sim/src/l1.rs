@@ -6,6 +6,7 @@
 //! misses to in-flight lines.
 
 use sttgpu_cache::{AccessKind, MshrOutcome, MshrTable, ReplacementPolicy, SetAssocCache};
+use sttgpu_trace::Trace;
 
 use crate::config::L1Config;
 
@@ -66,6 +67,12 @@ impl L1Cache {
     /// L1 line size, bytes.
     pub fn line_bytes(&self) -> u32 {
         self.line_bytes
+    }
+
+    /// Attaches a trace sink to this L1's MSHR table; `space` names the
+    /// table in the event stream (`1 + sm_id`).
+    pub fn set_trace(&mut self, trace: Trace, space: u32) {
+        self.mshr.set_trace(trace, space);
     }
 
     /// Line-granular address of a byte address.

@@ -11,6 +11,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use sttgpu_cache::{AccessKind, BankArbiter};
 use sttgpu_core::{AnyLlc, LlcModel};
+use sttgpu_trace::{Trace, TraceEvent};
 
 use crate::config::GpuConfig;
 use crate::icnt::Icnt;
@@ -44,6 +45,7 @@ pub struct FillDelivery {
 #[derive(Debug)]
 pub struct MemSystem {
     llc: AnyLlc,
+    trace: Trace,
     dram: BankArbiter,
     events: BinaryHeap<Reverse<(u64, u64, EventKind)>>,
     seq: u64,
@@ -79,6 +81,7 @@ impl MemSystem {
         let maintain_interval_ns = llc.maintenance_interval_ns();
         MemSystem {
             llc,
+            trace: Trace::off(),
             dram: BankArbiter::new(cfg.dram.controllers as usize),
             events: BinaryHeap::new(),
             seq: 0,
@@ -108,6 +111,13 @@ impl MemSystem {
     /// Mutable access to the L2 (measurement resets).
     pub fn llc_mut(&mut self) -> &mut AnyLlc {
         &mut self.llc
+    }
+
+    /// Attaches a trace sink observing the L2 and the miss tracker
+    /// (MSHR space 0).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.llc.set_trace(trace.clone());
+        self.trace = trace;
     }
 
     fn push_event(&mut self, at_ns: u64, kind: EventKind) {
@@ -162,6 +172,10 @@ impl MemSystem {
         // is already on its way.
         if let Some(pending) = self.l2_pending.get_mut(&l2_line) {
             pending.waiters.push((sm, byte_addr));
+            self.trace.emit(|| TraceEvent::MshrMerge {
+                space: 0,
+                la: l2_line,
+            });
             return;
         }
 
@@ -180,6 +194,10 @@ impl MemSystem {
                     waiters: vec![(sm, byte_addr)],
                 },
             );
+            self.trace.emit(|| TraceEvent::MshrAlloc {
+                space: 0,
+                la: l2_line,
+            });
             self.fetch_from_dram(l2_line, out.ready_ns);
         }
     }
@@ -193,6 +211,10 @@ impl MemSystem {
 
         if let Some(pending) = self.l2_pending.get_mut(&l2_line) {
             pending.dirty = true;
+            self.trace.emit(|| TraceEvent::MshrMerge {
+                space: 0,
+                la: l2_line,
+            });
             return;
         }
 
@@ -206,6 +228,10 @@ impl MemSystem {
                     waiters: Vec::new(),
                 },
             );
+            self.trace.emit(|| TraceEvent::MshrAlloc {
+                space: 0,
+                la: l2_line,
+            });
             self.fetch_from_dram(l2_line, out.ready_ns);
         }
     }
@@ -234,7 +260,16 @@ impl MemSystem {
             match kind {
                 EventKind::DramData { l2_line } => {
                     let byte_addr = l2_line * self.l2_line_bytes;
-                    let pending = self.l2_pending.remove(&l2_line).unwrap_or_default();
+                    let pending = match self.l2_pending.remove(&l2_line) {
+                        Some(p) => {
+                            self.trace.emit(|| TraceEvent::MshrComplete {
+                                space: 0,
+                                la: l2_line,
+                            });
+                            p
+                        }
+                        None => L2Pending::default(),
+                    };
                     let out = self.llc.fill(byte_addr, pending.dirty, t);
                     self.charge_writebacks(out.writebacks, t);
                     // Fill-and-forward: waiters get data over the icnt.

@@ -10,6 +10,8 @@ use std::sync::Arc;
 
 use std::collections::VecDeque;
 
+use sttgpu_trace::{Trace, TraceEvent};
+
 use crate::config::{GpuConfig, WarpScheduler};
 use crate::kernel::KernelParams;
 use crate::l1::{L1Cache, L1ReadOutcome};
@@ -34,6 +36,7 @@ pub struct Sm {
     max_pending: u32,
     warp_size: u32,
     scheduler: WarpScheduler,
+    trace: Trace,
     /// The warp GTO keeps issuing from until it stalls.
     greedy: Option<usize>,
     /// Monotone launch counter assigning warp ages.
@@ -60,6 +63,7 @@ impl Sm {
             max_pending: cfg.max_pending_loads,
             warp_size: cfg.warp_size,
             scheduler: cfg.scheduler,
+            trace: Trace::off(),
             greedy: None,
             age_counter: 0,
             instructions: 0,
@@ -96,6 +100,13 @@ impl Sm {
     /// The SM's L1 data cache (for statistics).
     pub fn l1(&self) -> &L1Cache {
         &self.l1
+    }
+
+    /// Attaches a trace sink observing this SM's launch invariants and
+    /// its L1 MSHR table.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.l1.set_trace(trace.clone(), 1 + self.id);
+        self.trace = trace;
     }
 
     /// Invalidates the L1 (kernel boundary — GPU L1s hold no dirty global
@@ -151,7 +162,16 @@ impl Sm {
                 placed += 1;
             }
         }
-        debug_assert_eq!(placed, needed as u32);
+        if placed != needed as u32 {
+            // The free-slot check above should make this unreachable; the
+            // checker reports it instead of silently under-launching.
+            self.trace.emit(|| TraceEvent::LaunchUnderfill {
+                sm: self.id,
+                placed,
+                needed: needed as u32,
+            });
+            debug_assert_eq!(placed, needed as u32);
+        }
         true
     }
 

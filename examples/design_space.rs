@@ -32,6 +32,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let plan = RunPlan {
         scale,
         max_cycles: 20_000_000,
+        check: false,
     };
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>9} {:>9}   (speedup | total power vs SRAM)",

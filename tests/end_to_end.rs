@@ -13,6 +13,7 @@ fn plan() -> RunPlan {
     RunPlan {
         scale: 0.3,
         max_cycles: 8_000_000,
+        check: false,
     }
 }
 
@@ -21,6 +22,7 @@ fn every_workload_completes_on_every_configuration() {
     let quick = RunPlan {
         scale: 0.05,
         max_cycles: 8_000_000,
+        check: false,
     };
     for w in suite::all() {
         for choice in L2Choice::ALL {
@@ -116,6 +118,7 @@ fn register_limited_workload_gains_from_c2_register_file() {
     let full = RunPlan {
         scale: 1.0,
         max_cycles: 20_000_000,
+        check: false,
     };
     let w = suite::by_name("srad_v2").expect("srad_v2");
     let base = run(L2Choice::SramBaseline, &w, &full);
