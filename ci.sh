@@ -26,6 +26,9 @@ if [[ "${1:-}" == "--smoke" ]]; then
 
     echo "==> repro invariant-checker run (scale 0.05, all artefacts, --check)"
     ./target/release/repro --scale 0.05 all --check > /dev/null
+
+    echo "==> repro seeded fault-injection run (scale 0.05, --faults 2e-4, --check)"
+    ./target/release/repro --scale 0.05 --faults 2e-4 --fault-seed 7 fig8 faults --check > /dev/null
 fi
 
 echo "CI OK"

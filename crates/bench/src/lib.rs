@@ -28,6 +28,7 @@ pub fn print_plan() -> RunPlan {
         scale: BENCH_PRINT_SCALE,
         max_cycles: 8_000_000,
         check: false,
+        ..RunPlan::full()
     }
 }
 
@@ -37,6 +38,7 @@ pub fn measure_plan() -> RunPlan {
         scale: BENCH_MEASURE_SCALE,
         max_cycles: 4_000_000,
         check: false,
+        ..RunPlan::full()
     }
 }
 

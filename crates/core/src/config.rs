@@ -1,7 +1,104 @@
 //! Configuration of the two-part LLC.
 
+use std::fmt;
+
 use sttgpu_cache::ReplacementPolicy;
 use sttgpu_device::mtj::RetentionTime;
+use sttgpu_fault::FaultConfig;
+
+/// A structured reason why a [`TwoPartConfig`] describes an impossible
+/// geometry. Returned by [`TwoPartConfig::validate`]; the panicking
+/// constructors print the same message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The line size is not a power of two.
+    LineSize {
+        /// Offending line size, bytes.
+        line_bytes: u32,
+    },
+    /// The migration write threshold is zero.
+    WriteThreshold,
+    /// A swap buffer has no capacity.
+    BufferCapacity,
+    /// A part's capacity does not divide into whole sets.
+    PartialSets {
+        /// Part name ("LR" or "HR").
+        part: &'static str,
+        /// Capacity, KB.
+        kb: u64,
+        /// Associativity.
+        ways: u32,
+    },
+    /// A retention-counter width is outside `[1, 16]`.
+    CounterWidth {
+        /// Part name ("LR" or "HR").
+        part: &'static str,
+        /// Offending width, bits.
+        bits: u32,
+    },
+    /// A retention target is so short that one counter tick rounds to
+    /// zero nanoseconds (the condition `retention.rs` asserts).
+    RetentionTooShort {
+        /// Part name ("LR" or "HR").
+        part: &'static str,
+        /// Counter width, bits.
+        bits: u32,
+    },
+    /// The early-write-termination savings fraction is outside `[0, 0.9]`.
+    EwtSavings {
+        /// Offending fraction.
+        savings: f64,
+    },
+    /// The refresh slack leaves no retention life before the deadline.
+    RefreshSlack {
+        /// Offending slack, ticks.
+        slack: u32,
+    },
+    /// The LR wear-rotation period is zero.
+    RotationPeriod,
+    /// An injected fault rate is outside `[0, 1]` or not finite.
+    FaultRate {
+        /// Which mechanism ("flip", "refresh-drop", "buffer-stall",
+        /// "bank-fault").
+        mechanism: &'static str,
+        /// Offending rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::LineSize { line_bytes } => {
+                write!(f, "line size must be a power of two (got {line_bytes} B)")
+            }
+            ConfigError::WriteThreshold => write!(f, "write threshold must be at least 1"),
+            ConfigError::BufferCapacity => write!(f, "swap buffers need capacity"),
+            ConfigError::PartialSets { part, kb, ways } => write!(
+                f,
+                "{part} capacity must form whole sets ({kb} KB does not divide into {ways}-way sets)"
+            ),
+            ConfigError::CounterWidth { part, bits } => {
+                write!(f, "{part} retention-counter width {bits} out of range [1, 16]")
+            }
+            ConfigError::RetentionTooShort { part, bits } => {
+                write!(f, "{part} retention too short for a {bits}-bit counter")
+            }
+            ConfigError::EwtSavings { savings } => {
+                write!(f, "EWT savings out of range: {savings} not in [0, 0.9]")
+            }
+            ConfigError::RefreshSlack { slack } => {
+                write!(f, "refresh slack {slack} leaves no retention life")
+            }
+            ConfigError::RotationPeriod => write!(f, "rotation period must be positive"),
+            ConfigError::FaultRate { mechanism, rate } => {
+                write!(f, "fault {mechanism} rate {rate} outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// How the two tag arrays are searched on an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -81,6 +178,9 @@ pub struct TwoPartConfig {
     pub search: SearchMode,
     /// Replacement policy of both parts.
     pub replacement: ReplacementPolicy,
+    /// Injected-fault configuration (all-zero = no injection, the
+    /// default; the model is then exactly transparent).
+    pub fault: FaultConfig,
 }
 
 impl TwoPartConfig {
@@ -110,31 +210,99 @@ impl TwoPartConfig {
             ewt_savings: 0.0,
             search: SearchMode::Sequential,
             replacement: ReplacementPolicy::Lru,
+            fault: FaultConfig::disabled(),
         };
-        cfg.validate();
+        cfg.assert_valid();
         cfg
     }
 
-    fn validate(&self) {
-        assert!(
-            self.line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(
-            self.write_threshold >= 1,
-            "write threshold must be at least 1"
-        );
-        assert!(self.buffer_blocks >= 1, "swap buffers need capacity");
-        let lr_lines = self.lr_kb * 1024 / self.line_bytes as u64;
-        let hr_lines = self.hr_kb * 1024 / self.line_bytes as u64;
-        assert!(
-            lr_lines >= self.lr_ways as u64 && lr_lines.is_multiple_of(self.lr_ways as u64),
-            "LR capacity must form whole sets"
-        );
-        assert!(
-            hr_lines >= self.hr_ways as u64 && hr_lines.is_multiple_of(self.hr_ways as u64),
-            "HR capacity must form whole sets"
-        );
+    /// Checks every geometry and parameter constraint up front, returning
+    /// a structured reason instead of letting a deep component (e.g. the
+    /// `tick_ns > 0` assert in the retention tracker) panic mid-build.
+    ///
+    /// The panicking constructors call this and `panic!` with the same
+    /// message on `Err`, so user-reachable code paths (CLI config
+    /// plumbing) can surface the error gracefully instead.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ConfigError::LineSize {
+                line_bytes: self.line_bytes,
+            });
+        }
+        if self.write_threshold < 1 {
+            return Err(ConfigError::WriteThreshold);
+        }
+        if self.buffer_blocks < 1 {
+            return Err(ConfigError::BufferCapacity);
+        }
+        let parts = [
+            (
+                "LR",
+                self.lr_kb,
+                self.lr_ways,
+                self.lr_rc_bits,
+                self.lr_retention,
+            ),
+            (
+                "HR",
+                self.hr_kb,
+                self.hr_ways,
+                self.hr_rc_bits,
+                self.hr_retention,
+            ),
+        ];
+        for (part, kb, ways, rc_bits, retention) in parts {
+            let lines = kb * 1024 / self.line_bytes as u64;
+            if ways == 0 || lines < ways as u64 || !lines.is_multiple_of(ways as u64) {
+                return Err(ConfigError::PartialSets { part, kb, ways });
+            }
+            if !(1..=16).contains(&rc_bits) {
+                return Err(ConfigError::CounterWidth {
+                    part,
+                    bits: rc_bits,
+                });
+            }
+            // Mirror of the retention tracker's tick-granularity assert:
+            // one counter tick must be at least 1 ns.
+            if retention.as_nanos_u64() >> rc_bits == 0 {
+                return Err(ConfigError::RetentionTooShort {
+                    part,
+                    bits: rc_bits,
+                });
+            }
+        }
+        if !(0.0..=0.9).contains(&self.ewt_savings) {
+            return Err(ConfigError::EwtSavings {
+                savings: self.ewt_savings,
+            });
+        }
+        if self.refresh_slack_ticks >= (1 << self.lr_rc_bits) - 1 {
+            return Err(ConfigError::RefreshSlack {
+                slack: self.refresh_slack_ticks,
+            });
+        }
+        if self.lr_rotation_period_ns == Some(0) {
+            return Err(ConfigError::RotationPeriod);
+        }
+        let rates = [
+            ("flip", self.fault.flip_rate),
+            ("refresh-drop", self.fault.refresh_drop_rate),
+            ("buffer-stall", self.fault.buffer_stall_rate),
+            ("bank-fault", self.fault.bank_fault_rate),
+        ];
+        for (mechanism, rate) in rates {
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(ConfigError::FaultRate { mechanism, rate });
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking wrapper used by the infallible constructors/builders.
+    fn assert_valid(&self) {
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 
     /// Number of LR lines.
@@ -165,7 +333,7 @@ impl TwoPartConfig {
     /// Returns a copy with a different write threshold (Fig. 4 sweeps).
     pub fn with_write_threshold(mut self, threshold: u32) -> Self {
         self.write_threshold = threshold;
-        self.validate();
+        self.assert_valid();
         self
     }
 
@@ -177,7 +345,7 @@ impl TwoPartConfig {
     /// Panics if the LR capacity cannot form whole sets of `ways`.
     pub fn with_lr_ways(mut self, ways: u32) -> Self {
         self.lr_ways = ways;
-        self.validate();
+        self.assert_valid();
         self
     }
 
@@ -190,7 +358,7 @@ impl TwoPartConfig {
     /// Returns a copy with different swap-buffer capacity (ablation).
     pub fn with_buffer_blocks(mut self, blocks: usize) -> Self {
         self.buffer_blocks = blocks;
-        self.validate();
+        self.assert_valid();
         self
     }
 
@@ -209,8 +377,8 @@ impl TwoPartConfig {
     /// Returns a copy with early write termination enabled at the given
     /// energy-savings fraction (ablation).
     pub fn with_ewt_savings(mut self, savings: f64) -> Self {
-        assert!((0.0..=0.9).contains(&savings), "EWT savings out of range");
         self.ewt_savings = savings;
+        self.assert_valid();
         self
     }
 
@@ -222,6 +390,7 @@ impl TwoPartConfig {
     pub fn with_lr_rotation_ms(mut self, ms: f64) -> Self {
         assert!(ms > 0.0, "rotation period must be positive");
         self.lr_rotation_period_ns = Some((ms * 1e6) as u64);
+        self.assert_valid();
         self
     }
 
@@ -233,11 +402,20 @@ impl TwoPartConfig {
     /// Panics if the slack does not leave at least one tick of life
     /// (`slack >= 2^lr_rc_bits - 1`).
     pub fn with_refresh_slack_ticks(mut self, slack: u32) -> Self {
-        assert!(
-            slack < (1 << self.lr_rc_bits) - 1,
-            "refresh slack {slack} leaves no retention life"
-        );
         self.refresh_slack_ticks = slack;
+        self.assert_valid();
+        self
+    }
+
+    /// Returns a copy with the given fault-injection configuration
+    /// (`repro --faults` and the fault-rate ablation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate is outside `[0, 1]`.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self.assert_valid();
         self
     }
 
@@ -319,5 +497,105 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn rejects_zero_threshold() {
         let _ = TwoPartConfig::new(48, 2, 336, 7, 256).with_write_threshold(0);
+    }
+
+    fn base() -> TwoPartConfig {
+        TwoPartConfig::new(48, 2, 336, 7, 256)
+    }
+
+    /// Applies `f` to a valid config and asserts validation rejects the
+    /// result with the expected message fragment.
+    fn rejected_with(f: impl FnOnce(&mut TwoPartConfig), fragment: &str) {
+        let mut cfg = base();
+        f(&mut cfg);
+        let err = cfg.validate().expect_err("geometry should be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains(fragment), "message {msg:?} lacks {fragment:?}");
+    }
+
+    #[test]
+    fn validate_accepts_every_paper_geometry() {
+        for (lr, hr) in [(192, 1344), (48, 336), (96, 672)] {
+            assert_eq!(TwoPartConfig::new(lr, 2, hr, 7, 256).validate(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_non_power_of_two_line_size() {
+        rejected_with(|c| c.line_bytes = 192, "power of two");
+    }
+
+    #[test]
+    fn validate_rejects_zero_write_threshold() {
+        rejected_with(|c| c.write_threshold = 0, "at least 1");
+    }
+
+    #[test]
+    fn validate_rejects_zero_buffer_capacity() {
+        rejected_with(|c| c.buffer_blocks = 0, "swap buffers need capacity");
+    }
+
+    #[test]
+    fn validate_rejects_fractional_sets_in_either_part() {
+        rejected_with(|c| c.lr_ways = 5, "LR capacity must form whole sets");
+        rejected_with(|c| c.hr_ways = 5, "HR capacity must form whole sets");
+        rejected_with(|c| c.hr_ways = 0, "HR capacity must form whole sets");
+    }
+
+    #[test]
+    fn validate_rejects_bad_counter_widths() {
+        rejected_with(|c| c.lr_rc_bits = 0, "out of range");
+        rejected_with(|c| c.hr_rc_bits = 17, "out of range");
+    }
+
+    #[test]
+    fn validate_rejects_sub_tick_retention() {
+        // 10 ns of LR retention across a 4-bit counter rounds each tick
+        // to zero — the condition retention.rs asserts, caught up front.
+        rejected_with(
+            |c| c.lr_retention = RetentionTime::from_nanos(10.0),
+            "LR retention too short for a 4-bit counter",
+        );
+        rejected_with(
+            |c| c.hr_retention = RetentionTime::from_nanos(3.0),
+            "HR retention too short for a 2-bit counter",
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_ewt() {
+        rejected_with(|c| c.ewt_savings = 0.95, "EWT savings out of range");
+        rejected_with(|c| c.ewt_savings = -0.1, "EWT savings out of range");
+    }
+
+    #[test]
+    fn validate_rejects_lifeless_refresh_slack() {
+        rejected_with(|c| c.refresh_slack_ticks = 15, "leaves no retention life");
+    }
+
+    #[test]
+    fn validate_rejects_zero_rotation_period() {
+        rejected_with(|c| c.lr_rotation_period_ns = Some(0), "must be positive");
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_fault_rates() {
+        rejected_with(|c| c.fault.flip_rate = 1.5, "fault flip rate");
+        rejected_with(
+            |c| c.fault.refresh_drop_rate = -0.2,
+            "fault refresh-drop rate",
+        );
+        rejected_with(
+            |c| c.fault.buffer_stall_rate = f64::NAN,
+            "fault buffer-stall rate",
+        );
+        rejected_with(|c| c.fault.bank_fault_rate = 2.0, "fault bank-fault rate");
+    }
+
+    #[test]
+    fn with_fault_accepts_valid_rates() {
+        let cfg = base().with_fault(FaultConfig::uniform(7, 1e-4));
+        assert!(cfg.fault.is_enabled());
+        assert_eq!(cfg.fault.seed, 7);
     }
 }

@@ -51,10 +51,11 @@ mod swap;
 mod two_part;
 mod wws;
 
-pub use config::{SearchMode, TwoPartConfig};
+pub use config::{ConfigError, SearchMode, TwoPartConfig};
 pub use llc::{AnyLlc, FillOutcome, LlcModel, LlcStats, ProbeOutcome, SingleLlc};
 pub use retention::RetentionTracker;
 pub use search::{Part, SearchSelector};
+pub use sttgpu_fault::{FaultConfig, FaultOutcome, FaultPart, FaultPlan};
 pub use swap::SwapBuffer;
 pub use two_part::{TwoPartLlc, TwoPartStats};
 pub use wws::WwsMonitor;

@@ -7,6 +7,7 @@ use sttgpu_cache::{AccessKind, BankArbiter, Evicted, SetAssocCache};
 use sttgpu_device::array::{ArrayDesign, ArrayGeometry};
 use sttgpu_device::cell::MemTechnology;
 use sttgpu_device::energy::{EnergyAccount, EnergyEvent};
+use sttgpu_fault::{FaultOutcome, FaultPart, FaultPlan};
 use sttgpu_stats::Histogram;
 use sttgpu_trace::{BufferDir, PartId, Trace, TraceEvent};
 
@@ -19,6 +20,22 @@ use crate::wws::WwsMonitor;
 
 /// Energy of moving one block through a swap buffer, nJ (small SRAM FIFO).
 const BUFFER_ENERGY_NJ: f64 = 0.01;
+
+/// Energy of one SECDED syndrome computation + correction on a faulted
+/// line, nJ. Charged only when the fault process actually flipped a bit,
+/// so a zero-rate plan leaves the ledger untouched.
+const ECC_ENERGY_NJ: f64 = 0.02;
+
+/// Extra latency of correcting a single-bit error on a read hit, ns.
+const ECC_CORRECT_LATENCY_NS: u64 = 2;
+
+/// Maps the search-selector part to the fault model's retention domain.
+fn fault_part(part: Part) -> FaultPart {
+    match part {
+        Part::Lr => FaultPart::Lr,
+        Part::Hr => FaultPart::Hr,
+    }
+}
 
 /// Fig. 6 histogram bucket bounds, ns (≤1 µs, ≤5 µs, ≤10 µs, ≤1 ms,
 /// ≤2.5 ms, then an implicit >2.5 ms bucket).
@@ -93,6 +110,22 @@ pub struct TwoPartStats {
     pub fills_to_hr: u64,
     /// LR wear-rotations performed.
     pub lr_rotations: u64,
+    /// Single-bit errors corrected by the per-line SECDED (injected
+    /// retention flips caught at read or scrub time).
+    pub ecc_corrections: u64,
+    /// Multi-bit errors SECDED detected but could not correct; the line
+    /// was dropped and the access handled as a miss.
+    pub ecc_uncorrectable: u64,
+    /// Uncorrectable errors that hit *dirty* lines — architectural data
+    /// loss (clean lines refetch from DRAM and lose nothing).
+    pub data_loss_events: u64,
+    /// Due LR refreshes dropped by the injected fault process.
+    pub refresh_drops: u64,
+    /// Swap-buffer reservations stalled by the injected fault process
+    /// (the transfer fell back exactly as on a full buffer).
+    pub buffer_stalls: u64,
+    /// Transient bank faults forcing a tag-probe retry.
+    pub bank_faults: u64,
 }
 
 impl TwoPartStats {
@@ -174,6 +207,7 @@ pub struct TwoPartLlc {
     lr_rc: RetentionTracker,
     hr_rc: RetentionTracker,
     wws: WwsMonitor,
+    fault: FaultPlan,
     hr_to_lr: SwapBuffer,
     lr_to_hr: SwapBuffer,
     energy: EnergyAccount,
@@ -244,6 +278,12 @@ impl TwoPartLlc {
             lr_rc: RetentionTracker::new(cfg.lr_retention, cfg.lr_rc_bits),
             hr_rc: RetentionTracker::new(cfg.hr_retention, cfg.hr_rc_bits),
             wws: WwsMonitor::new(cfg.write_threshold),
+            fault: FaultPlan::new(
+                cfg.fault,
+                cfg.lr_retention,
+                cfg.hr_retention,
+                cfg.line_bytes,
+            ),
             hr_to_lr: SwapBuffer::new(cfg.buffer_blocks),
             lr_to_hr: SwapBuffer::new(cfg.buffer_blocks),
             energy,
@@ -380,6 +420,26 @@ impl TwoPartLlc {
         self.deposit(EnergyEvent::TagLookup, nj);
     }
 
+    /// Rolls the injected swap-buffer stall for one reservation attempt.
+    /// On a stall the caller takes its existing buffer-full fallback, so
+    /// the fault degrades service exactly like transient congestion.
+    fn fault_stall(&mut self, dir: BufferDir, la: u64, now_ns: u64) -> bool {
+        if !self.fault.enabled() {
+            return false;
+        }
+        let dir_index = match dir {
+            BufferDir::HrToLr => 0,
+            BufferDir::LrToHr => 1,
+        };
+        let stalled = self.fault.buffer_stall(dir_index, la, now_ns);
+        if stalled {
+            self.stats.buffer_stalls += 1;
+            self.trace
+                .emit(|| TraceEvent::BufferStall { dir, la, now_ns });
+        }
+        stalled
+    }
+
     /// Services a read hit in `part`. Returns completion time.
     fn service_read(&mut self, part: Part, la: u64, tag_done_ns: u64, now_ns: u64) -> u64 {
         match part {
@@ -449,7 +509,9 @@ impl TwoPartLlc {
             self.deposit(EnergyEvent::DataRead, self.hr_design.read_energy_nj());
             let write_done = read_done + self.lr_write_ns;
 
-            if self.hr_to_lr.try_reserve(now_ns, write_done) {
+            if !self.fault_stall(BufferDir::HrToLr, la, now_ns)
+                && self.hr_to_lr.try_reserve(now_ns, write_done)
+            {
                 self.trace.emit(|| TraceEvent::BufferAdmit {
                     dir: BufferDir::HrToLr,
                     la,
@@ -535,7 +597,9 @@ impl TwoPartLlc {
         self.deposit(EnergyEvent::DataRead, self.lr_design.read_energy_nj());
         let write_done = read_done + self.hr_write_ns;
 
-        if !self.lr_to_hr.try_reserve(now_ns, write_done) {
+        if self.fault_stall(BufferDir::LrToHr, victim.line_addr, now_ns)
+            || !self.lr_to_hr.try_reserve(now_ns, write_done)
+        {
             // Buffer full: force the block out to DRAM (paper's data-loss
             // avoidance rule); clean blocks are simply dropped.
             self.trace.emit(|| TraceEvent::BufferOverflow {
@@ -677,7 +741,7 @@ impl LlcModel for TwoPartLlc {
 
         // Determine the hit part and the time the winning tag lookup
         // resolves, per the configured search mode.
-        let (hit_part, tag_done_ns) = match self.cfg.search {
+        let (mut hit_part, mut tag_done_ns) = match self.cfg.search {
             SearchMode::Sequential => {
                 let mut t = now_ns;
                 let mut found = None;
@@ -709,6 +773,71 @@ impl LlcModel for TwoPartLlc {
             }
         };
 
+        // --- fault injection ---------------------------------------------
+        // Evaluated between tag resolution and the outcome emit so an
+        // uncorrectable line is gone before the Miss event fires. All
+        // hooks are keyed draws from the run's FaultPlan: a disabled plan
+        // leaves this block untouched and the probe byte-identical.
+        let mut ecc_extra_ns = 0;
+        if self.fault.enabled() {
+            if self.fault.bank_fault(la, now_ns) {
+                // Transient bank fault: the first tag probe glitches and
+                // retries, costing one extra tag access.
+                self.stats.bank_faults += 1;
+                self.trace.emit(|| TraceEvent::BankFault { la, now_ns });
+                self.deposit_tag(order[0]);
+                tag_done_ns += self.tag_ns(order[0]);
+            }
+            if let (Some(part), false) = (hit_part, kind.is_write()) {
+                // ECC runs on read hits only: a demand write overwrites
+                // the payload and starts a fresh fault epoch anyway.
+                let written_at_ns = match part {
+                    Part::Lr => self.lr.peek(la),
+                    Part::Hr => self.hr.peek(la),
+                }
+                .map_or(now_ns, |l| l.meta.written_at_ns);
+                match self
+                    .fault
+                    .line_outcome(fault_part(part), la, written_at_ns, now_ns)
+                {
+                    FaultOutcome::Clean => {}
+                    FaultOutcome::Corrected => {
+                        self.stats.ecc_corrections += 1;
+                        self.deposit(EnergyEvent::Ecc, ECC_ENERGY_NJ);
+                        self.trace.emit(|| TraceEvent::EccCorrected {
+                            part: part.into(),
+                            la,
+                            now_ns,
+                        });
+                        ecc_extra_ns = ECC_CORRECT_LATENCY_NS;
+                    }
+                    FaultOutcome::Uncorrectable => {
+                        // SECDED detects but cannot repair: drop the line
+                        // and let the access take the miss path, refetching
+                        // from DRAM. A dirty payload is architectural data
+                        // loss — there is nothing valid to write back.
+                        self.stats.ecc_uncorrectable += 1;
+                        self.deposit(EnergyEvent::Ecc, ECC_ENERGY_NJ);
+                        let victim = match part {
+                            Part::Lr => self.lr.extract(la),
+                            Part::Hr => self.hr.extract(la),
+                        };
+                        let data_lost = victim.is_some_and(|v| v.dirty);
+                        if data_lost {
+                            self.stats.data_loss_events += 1;
+                        }
+                        self.trace.emit(|| TraceEvent::EccUncorrectable {
+                            part: part.into(),
+                            la,
+                            data_lost,
+                            now_ns,
+                        });
+                        hit_part = None;
+                    }
+                }
+            }
+        }
+
         // Emit the outcome before the service routines update the line's
         // retention clock, so the event carries the age the hit was
         // actually served at.
@@ -739,7 +868,7 @@ impl LlcModel for TwoPartLlc {
                 let ready = self.service_read(part, la, tag_done_ns, now_ns);
                 ProbeOutcome {
                     hit: true,
-                    ready_ns: ready,
+                    ready_ns: ready + ecc_extra_ns,
                     writebacks: 0,
                 }
             }
@@ -894,10 +1023,57 @@ impl LlcModel for TwoPartLlc {
                 }
                 continue;
             }
+            if self.fault.enabled() {
+                // Injected refresh drop: the engine skips this line and
+                // re-arms the deadline; by the next sweep the line has
+                // usually expired, taking the ordinary expiry path.
+                if self.fault.drop_refresh(la, now_ns) {
+                    self.stats.refresh_drops += 1;
+                    self.trace.emit(|| TraceEvent::RefreshDropped {
+                        la,
+                        written_at_ns: stamp,
+                        now_ns,
+                    });
+                    self.lr_deadlines.push(Reverse((now_ns + 1, la, stamp)));
+                    continue;
+                }
+                // The refresh read doubles as a scrub: ECC sees the line's
+                // accumulated fault state before the rewrite clears it.
+                match self.fault.line_outcome(FaultPart::Lr, la, stamp, now_ns) {
+                    FaultOutcome::Clean => {}
+                    FaultOutcome::Corrected => {
+                        self.stats.ecc_corrections += 1;
+                        self.deposit(EnergyEvent::Ecc, ECC_ENERGY_NJ);
+                        self.trace.emit(|| TraceEvent::EccCorrected {
+                            part: PartId::Lr,
+                            la,
+                            now_ns,
+                        });
+                    }
+                    FaultOutcome::Uncorrectable => {
+                        self.stats.ecc_uncorrectable += 1;
+                        self.deposit(EnergyEvent::Ecc, ECC_ENERGY_NJ);
+                        let victim = self.lr.extract(la);
+                        let data_lost = victim.is_some_and(|v| v.dirty);
+                        if data_lost {
+                            self.stats.data_loss_events += 1;
+                        }
+                        self.trace.emit(|| TraceEvent::EccUncorrectable {
+                            part: PartId::Lr,
+                            la,
+                            data_lost,
+                            now_ns,
+                        });
+                        continue;
+                    }
+                }
+            }
             // Refresh = read the line into the LR→HR buffer, rewrite it.
             // Runs on the migration port; costs energy and a buffer slot.
             let done = now_ns + self.lr_read_ns + self.lr_write_ns;
-            if self.lr_to_hr.try_reserve(now_ns, done) {
+            if !self.fault_stall(BufferDir::LrToHr, la, now_ns)
+                && self.lr_to_hr.try_reserve(now_ns, done)
+            {
                 self.trace.emit(|| TraceEvent::BufferAdmit {
                     dir: BufferDir::LrToHr,
                     la,
@@ -1474,5 +1650,130 @@ mod tests {
         assert_eq!(llc.stats().migrations_to_lr, 1);
         assert_eq!(llc.stats().demand_writes_lr, 1);
         assert!((llc.stats().lr_write_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    // --- fault injection ---------------------------------------------------
+
+    use sttgpu_fault::FaultConfig;
+
+    fn faulty(fault: FaultConfig) -> TwoPartLlc {
+        TwoPartLlc::new(TwoPartConfig::new(8, 2, 56, 7, 256).with_fault(fault))
+    }
+
+    #[test]
+    fn bank_faults_add_tag_latency_only() {
+        let mut clean = small();
+        let mut llc = faulty(FaultConfig {
+            seed: 7,
+            bank_fault_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        let base = clean.probe(addr(1), AccessKind::Read, 0).ready_ns;
+        let hit = llc.probe(addr(1), AccessKind::Read, 0).ready_ns;
+        assert!(hit > base, "bank fault must delay the probe");
+        assert_eq!(llc.stats().bank_faults, 1);
+        assert_eq!(llc.stats().ecc_corrections, 0);
+        // The retry burns tag energy but nothing else.
+        assert!(
+            llc.energy().dynamic_nj_for(EnergyEvent::TagLookup)
+                > clean.energy().dynamic_nj_for(EnergyEvent::TagLookup)
+        );
+    }
+
+    #[test]
+    fn uncorrectable_read_drops_the_line_and_misses() {
+        // Rate 1.0 over a long residency makes the Poisson mass enormous:
+        // the flip is certain and certainly multi-bit.
+        let mut llc = faulty(FaultConfig {
+            seed: 3,
+            flip_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        llc.fill(addr(5), true, 0);
+        assert!(llc.lr_contains(addr(5)));
+        let probe = llc.probe(addr(5), AccessKind::Read, 20_000);
+        assert!(!probe.hit, "uncorrectable line must read as a miss");
+        assert!(!llc.lr_contains(addr(5)), "the corrupt line is dropped");
+        assert_eq!(llc.stats().ecc_uncorrectable, 1);
+        assert_eq!(llc.stats().data_loss_events, 1, "dirty payload is lost");
+        assert_eq!(llc.stats().read_misses, 1);
+        assert!(llc.energy().dynamic_nj_for(EnergyEvent::Ecc) > 0.0);
+        // The refetch refills as usual.
+        llc.fill(addr(5), false, 21_000);
+        assert!(llc.hr_contains(addr(5)));
+    }
+
+    #[test]
+    fn write_hits_skip_ecc() {
+        let mut llc = faulty(FaultConfig {
+            seed: 3,
+            flip_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        llc.fill(addr(5), true, 0);
+        let probe = llc.probe(addr(5), AccessKind::Write, 20_000);
+        assert!(probe.hit, "a write overwrites the payload — no ECC check");
+        assert_eq!(llc.stats().ecc_uncorrectable, 0);
+    }
+
+    #[test]
+    fn dropped_refreshes_lead_to_expiry() {
+        let mut llc = faulty(FaultConfig {
+            seed: 11,
+            refresh_drop_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        let tick = llc.lr_rc.tick_ns();
+        let retention = llc.config().lr_retention.as_nanos_u64();
+        llc.fill(addr(9), true, 0);
+        let mut t = tick;
+        while t <= retention + tick {
+            llc.maintain(t);
+            t += tick;
+        }
+        assert!(llc.stats().refresh_drops >= 1);
+        assert_eq!(llc.stats().refreshes, 0, "every refresh was dropped");
+        assert_eq!(llc.stats().lr_expirations, 1, "the starved line expires");
+        assert!(!llc.lr_contains(addr(9)));
+    }
+
+    #[test]
+    fn buffer_stalls_fall_back_like_overflow() {
+        let mut llc = faulty(FaultConfig {
+            seed: 5,
+            buffer_stall_rate: 1.0,
+            ..FaultConfig::disabled()
+        });
+        llc.fill(addr(2), false, 0);
+        let probe = llc.probe(addr(2), AccessKind::Write, 100);
+        assert!(probe.hit);
+        assert_eq!(llc.stats().buffer_stalls, 1);
+        assert_eq!(llc.stats().migrations_to_lr, 0, "stall blocks the hop");
+        assert!(llc.hr_contains(addr(2)), "write serviced in place instead");
+    }
+
+    #[test]
+    fn zero_rate_plan_is_inert() {
+        let cfg = FaultConfig {
+            seed: 99,
+            ..FaultConfig::disabled()
+        };
+        let mut clean = small();
+        let mut llc = faulty(cfg);
+        for i in 0..64 {
+            let kind = if i % 3 == 0 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            llc.fill(addr(i), i % 2 == 0, i * 50);
+            clean.fill(addr(i), i % 2 == 0, i * 50);
+            let a = llc.probe(addr(i / 2), kind, i * 50 + 25);
+            let b = clean.probe(addr(i / 2), kind, i * 50 + 25);
+            assert_eq!(a.hit, b.hit);
+            assert_eq!(a.ready_ns, b.ready_ns);
+        }
+        assert_eq!(llc.stats(), clean.stats());
+        assert_eq!(llc.energy(), clean.energy());
     }
 }

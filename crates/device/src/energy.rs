@@ -25,11 +25,13 @@ pub enum EnergyEvent {
     Buffer,
     /// Forced write-back to DRAM (expiry or buffer overflow).
     Writeback,
+    /// SECDED check/correct work on a faulted line (fault injection).
+    Ecc,
 }
 
 impl EnergyEvent {
     /// All categories, in display order.
-    pub const ALL: [EnergyEvent; 7] = [
+    pub const ALL: [EnergyEvent; 8] = [
         EnergyEvent::TagLookup,
         EnergyEvent::DataRead,
         EnergyEvent::DataWrite,
@@ -37,6 +39,7 @@ impl EnergyEvent {
         EnergyEvent::Migration,
         EnergyEvent::Buffer,
         EnergyEvent::Writeback,
+        EnergyEvent::Ecc,
     ];
 
     /// Position of this category in [`EnergyEvent::ALL`] — the category
@@ -50,6 +53,7 @@ impl EnergyEvent {
             EnergyEvent::Migration => 4,
             EnergyEvent::Buffer => 5,
             EnergyEvent::Writeback => 6,
+            EnergyEvent::Ecc => 7,
         }
     }
 }
@@ -64,6 +68,7 @@ impl fmt::Display for EnergyEvent {
             EnergyEvent::Migration => "migration",
             EnergyEvent::Buffer => "buffer",
             EnergyEvent::Writeback => "writeback",
+            EnergyEvent::Ecc => "ecc",
         };
         f.write_str(name)
     }
@@ -88,7 +93,7 @@ impl fmt::Display for EnergyEvent {
 /// ```
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct EnergyAccount {
-    by_event: [f64; 7],
+    by_event: [f64; 8],
     leakage_mw: f64,
 }
 
@@ -101,7 +106,7 @@ impl EnergyAccount {
     /// Creates an account with a constant leakage power in mW.
     pub fn with_leakage_mw(leakage_mw: f64) -> Self {
         EnergyAccount {
-            by_event: [0.0; 7],
+            by_event: [0.0; 8],
             leakage_mw,
         }
     }
@@ -164,7 +169,7 @@ impl EnergyAccount {
 
     /// Clears all deposits (keeps the leakage rate).
     pub fn reset(&mut self) {
-        self.by_event = [0.0; 7];
+        self.by_event = [0.0; 8];
     }
 }
 

@@ -186,6 +186,7 @@ pub fn hr_retention(exec: &Executor, plan: &RunPlan) -> Vec<HrRetentionRow> {
         scale: plan.scale * 4.0,
         max_cycles: plan.max_cycles * 4,
         check: false,
+        ..RunPlan::full()
     };
     let w = suite::by_name("streamcluster").expect("streamcluster");
     // Point 0 is the unmodified C1 (the IPC normalisation base); it goes
@@ -680,6 +681,7 @@ mod tests {
             scale: 0.05,
             max_cycles: 3_000_000,
             check: false,
+            ..RunPlan::full()
         }
     }
 
@@ -712,6 +714,7 @@ mod tests {
             scale: 0.2,
             max_cycles: 6_000_000,
             check: false,
+            ..RunPlan::full()
         };
         let rows = endurance(&Executor::auto(), &plan);
         // Across the write-hot subset, rotation must improve leveling
@@ -732,6 +735,7 @@ mod tests {
             scale: 0.2,
             max_cycles: 6_000_000,
             check: false,
+            ..RunPlan::full()
         };
         let rows = refresh_timing(&Executor::auto(), &plan);
         let lazy = rows.iter().find(|r| r.slack_ticks == 0).expect("slack 0");

@@ -9,18 +9,26 @@
 use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufWriter, Write};
+use std::process::ExitCode;
 use std::rc::Rc;
 
 use sttgpu_experiments::configs::{gpu_config, L2Choice};
+use sttgpu_experiments::error::RunError;
 use sttgpu_experiments::runner::{run, RunPlan};
 use sttgpu_sim::Gpu;
 use sttgpu_trace::{JsonlSink, Trace};
 use sttgpu_workloads::suite;
 
-fn dump_trace(path: &str, name: &str, plan: &RunPlan) {
-    let w = suite::by_name(name).expect("workload");
+fn lookup(name: &str) -> Result<sttgpu_sim::Workload, RunError> {
+    suite::by_name(name).ok_or_else(|| RunError::UnknownWorkload {
+        name: name.to_string(),
+    })
+}
+
+fn dump_trace(path: &str, name: &str, plan: &RunPlan) -> Result<(), RunError> {
+    let w = lookup(name)?;
     let scaled = suite::scaled(&w, plan.scale);
-    let file = BufWriter::new(File::create(path).expect("create trace file"));
+    let file = BufWriter::new(File::create(path).map_err(|e| RunError::io(path, e))?);
     let sink = Rc::new(RefCell::new(JsonlSink::new(file)));
     let mut gpu = Gpu::new(gpu_config(L2Choice::TwoPartC1));
     gpu.set_trace(Trace::to_sink(Rc::clone(&sink)));
@@ -30,14 +38,17 @@ fn dump_trace(path: &str, name: &str, plan: &RunPlan) {
         .unwrap_or_else(|_| unreachable!("gpu dropped its trace handles"))
         .into_inner();
     let written = sink.written();
-    sink.into_inner().flush().expect("flush trace file");
+    sink.into_inner()
+        .flush()
+        .map_err(|e| RunError::io(path, e))?;
     println!(
         "wrote {written} events to {path} ({name} @ scale {}, {} cycles, finished: {})",
         plan.scale, metrics.cycles, metrics.finished
     );
+    Ok(())
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: f64 = args
         .iter()
@@ -71,11 +82,18 @@ fn main() {
         scale,
         max_cycles: 6_000_000,
         check: false,
+        ..RunPlan::full()
     };
     if let Some(path) = trace_jsonl {
         let name = names.first().map(String::as_str).unwrap_or("kmeans");
-        dump_trace(&path, name, &plan);
-        return;
+        if let Err(e) = dump_trace(&path, name, &plan) {
+            eprintln!("diag: {e}");
+            if let RunError::UnknownWorkload { .. } = e {
+                eprintln!("available workloads: {:?}", suite::names());
+            }
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
     }
     let names = if names.is_empty() {
         suite::names()
@@ -83,7 +101,13 @@ fn main() {
         names
     };
     for name in names {
-        let w = suite::by_name(&name).expect("workload");
+        let w = match lookup(&name) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("diag: {e}; available workloads: {:?}", suite::names());
+                return ExitCode::FAILURE;
+            }
+        };
         println!("== {name} (scale {scale}) ==");
         for choice in L2Choice::ALL {
             let out = run(choice, &w, &plan);
@@ -123,4 +147,5 @@ fn main() {
             println!();
         }
     }
+    ExitCode::SUCCESS
 }

@@ -129,6 +129,7 @@ fn main() -> ExitCode {
         scale: opts.scale,
         max_cycles: 20_000_000,
         check: opts.check,
+        ..RunPlan::full()
     };
 
     let exec = match opts.jobs {

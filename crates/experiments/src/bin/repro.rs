@@ -8,6 +8,8 @@
 //! repro --jobs 8 all      # executor thread count (default: all cores)
 //! repro --out results all # also write <artefact>.txt/.csv under results/
 //! repro all --check       # attach the runtime invariant checker
+//! repro --faults 2e-4 --fault-seed 7 all  # deterministic fault injection
+//! repro --out results --resume all        # continue an interrupted sweep
 //! ```
 //!
 //! All artefacts share one [`Executor`], so a simulation needed by several
@@ -16,18 +18,33 @@
 //! once. The run summary printed at the end reports executed runs vs.
 //! cache hits and simulated-cycle throughput; the same numbers plus
 //! per-artefact wall-clock timings land in `BENCH_repro.json`.
+//!
+//! # Crash resilience
+//!
+//! With `--out`, every completed artefact is journalled to
+//! `<dir>/repro.journal` *after* its files hit the disk; `--resume` skips
+//! artefacts whose journal entry matches the current plan and whose
+//! `.txt` still exists, so a killed sweep continues where it stopped and
+//! produces byte-identical outputs. An artefact that panics (after the
+//! runner's internal retries) is **quarantined**: the sweep continues,
+//! the failure lands in `<dir>/QUARANTINE.txt` (one `artefact<TAB>reason`
+//! line each), and the exit code is nonzero.
 
 use std::env;
 use std::fs;
-use std::path::PathBuf;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
+use sttgpu_experiments::error::panic_message;
 use sttgpu_experiments::{
-    ablations, fig3, fig4, fig5, fig6, fig8, table1, table2, workload_table, Executor, RunPlan,
+    ablations, faults, fig3, fig4, fig5, fig6, fig8, table1, table2, workload_table, Executor,
+    RunPlan,
 };
 
-const ARTEFACTS: [&str; 9] = [
+const ARTEFACTS: [&str; 10] = [
     "table1",
     "table2",
     "workloads",
@@ -37,18 +54,61 @@ const ARTEFACTS: [&str; 9] = [
     "fig6",
     "fig8",
     "ablations",
+    "faults",
 ];
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--quick] [--scale F] [--jobs N] [--out DIR] [--check] <all|{}> ...",
+        "usage: repro [--quick] [--scale F] [--jobs N] [--out DIR] [--check] \
+         [--faults RATE] [--fault-seed N] [--resume] <all|{}> ...",
         ARTEFACTS.join("|")
     );
     ExitCode::FAILURE
 }
 
+/// One journal line identifying a completed artefact under a plan. Bit
+/// patterns for the floats: resume must match exactly, not approximately.
+fn journal_line(name: &str, plan: &RunPlan) -> String {
+    format!(
+        "ok {name} scale={:016x} max_cycles={} check={} fault_rate={:016x} fault_seed={}",
+        plan.scale.to_bits(),
+        plan.max_cycles,
+        u8::from(plan.check),
+        plan.fault.rate.to_bits(),
+        plan.fault.seed,
+    )
+}
+
+/// Reads the journal and returns the artefact names already completed
+/// under exactly this plan (missing journal = nothing completed).
+fn completed_artefacts(dir: &Path, plan: &RunPlan) -> Vec<String> {
+    let Ok(text) = fs::read_to_string(dir.join("repro.journal")) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let name = line.strip_prefix("ok ")?.split(' ').next()?;
+            (line == journal_line(name, plan)).then(|| name.to_string())
+        })
+        .collect()
+}
+
+/// Appends one line to the journal, creating it on first use.
+fn append_journal(dir: &Path, line: &str) -> std::io::Result<()> {
+    let mut f = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("repro.journal"))?;
+    writeln!(f, "{line}")
+}
+
 /// Computes one artefact: the rendered text plus, where meaningful, a CSV.
 fn run_artefact(name: &str, exec: &Executor, plan: &RunPlan) -> Option<(String, Option<String>)> {
+    if env::var("STTGPU_REPRO_PANIC").as_deref() == Ok(name) {
+        // Test hook: deterministically poison one artefact so the
+        // quarantine path is exercisable end to end.
+        panic!("injected test panic for artefact {name}");
+    }
     let (text, csv) = match name {
         "table1" => (table1::render(), Some(table1::to_csv())),
         "table2" => (table2::render(), Some(table2::to_csv())),
@@ -80,6 +140,10 @@ fn run_artefact(name: &str, exec: &Executor, plan: &RunPlan) -> Option<(String, 
             (fig8::render(&rows, &summary), Some(fig8::to_csv(&rows)))
         }
         "ablations" => (ablations::render(exec, plan), None),
+        "faults" => {
+            let rows = faults::compute(exec, plan);
+            (faults::render(&rows), Some(faults::to_csv(&rows)))
+        }
         _ => return None,
     };
     Some((text, csv))
@@ -125,6 +189,9 @@ fn main() -> ExitCode {
     let mut out_dir: Option<PathBuf> = None;
     let mut jobs: Option<usize> = None;
     let mut check = false;
+    let mut fault_rate = 0.0;
+    let mut fault_seed = 0;
+    let mut resume = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -154,6 +221,22 @@ fn main() -> ExitCode {
                 out_dir = Some(PathBuf::from(dir));
             }
             "--check" => check = true,
+            "--faults" => {
+                let Some(r) = args.next().and_then(|s| s.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                if !(0.0..=1.0).contains(&r) {
+                    return usage();
+                }
+                fault_rate = r;
+            }
+            "--fault-seed" => {
+                let Some(n) = args.next().and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                fault_seed = n;
+            }
+            "--resume" => resume = true,
             "-h" | "--help" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -167,7 +250,11 @@ fn main() -> ExitCode {
     if targets.iter().any(|t| t == "all") {
         targets = ARTEFACTS.iter().map(|s| s.to_string()).collect();
     }
-    plan = plan.with_check(check);
+    plan = plan.with_check(check).with_faults(fault_rate, fault_seed);
+    if resume && out_dir.is_none() {
+        eprintln!("--resume needs --out DIR (that's where the journal lives)");
+        return usage();
+    }
     let exec = match jobs {
         Some(n) => Executor::new(n),
         None => Executor::auto(),
@@ -185,11 +272,35 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let done_already: Vec<String> = match (&out_dir, resume) {
+        (Some(dir), true) => completed_artefacts(dir, &plan)
+            .into_iter()
+            .filter(|name| dir.join(format!("{name}.txt")).is_file())
+            .collect(),
+        _ => Vec::new(),
+    };
     let started_all = Instant::now();
     let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut quarantined: Vec<(String, String)> = Vec::new();
     for t in &targets {
+        if done_already.iter().any(|d| d == t) {
+            eprintln!("# {t} already complete (resume) — skipped");
+            continue;
+        }
         let started = Instant::now();
-        let Some((text, csv)) = run_artefact(t, &exec, &plan) else {
+        // Isolate each artefact: a panic (after the runner's own retries)
+        // quarantines this artefact and the sweep moves on.
+        let computed = catch_unwind(AssertUnwindSafe(|| run_artefact(t, &exec, &plan)));
+        let outcome = match computed {
+            Ok(o) => o,
+            Err(payload) => {
+                let why = panic_message(payload.as_ref());
+                eprintln!("# {t} QUARANTINED: {why}");
+                quarantined.push((t.clone(), why));
+                continue;
+            }
+        };
+        let Some((text, csv)) = outcome else {
             eprintln!("unknown artefact: {t}");
             return usage();
         };
@@ -204,6 +315,12 @@ fn main() -> ExitCode {
                     eprintln!("cannot write {t}.csv: {e}");
                     return ExitCode::FAILURE;
                 }
+            }
+            // Journal only after the artefact's files are durably on
+            // disk, so a crash between write and journal re-runs it.
+            if let Err(e) = append_journal(dir, &journal_line(t, &plan)) {
+                eprintln!("cannot update journal: {e}");
+                return ExitCode::FAILURE;
             }
         }
         let secs = started.elapsed().as_secs_f64();
@@ -247,6 +364,28 @@ fn main() -> ExitCode {
             "# check passed: 0 invariant violations across {} runs",
             stats.runs_executed
         );
+    }
+    if !quarantined.is_empty() {
+        let mut report = String::new();
+        for (name, why) in &quarantined {
+            report.push_str(&format!("{name}\t{why}\n"));
+        }
+        let q_path = out_dir
+            .as_deref()
+            .map(|d| d.join("QUARANTINE.txt"))
+            .unwrap_or_else(|| PathBuf::from("QUARANTINE.txt"));
+        if let Err(e) = fs::write(&q_path, &report) {
+            eprintln!("cannot write {}: {e}", q_path.display());
+        }
+        eprintln!(
+            "# {} artefact(s) quarantined (see {}):",
+            quarantined.len(),
+            q_path.display()
+        );
+        for (name, why) in &quarantined {
+            eprintln!("#   {name}: {why}");
+        }
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

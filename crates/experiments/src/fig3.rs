@@ -94,6 +94,7 @@ mod tests {
             scale: 0.08,
             max_cycles: 3_000_000,
             check: false,
+            ..RunPlan::full()
         };
         let rows = compute(&Executor::auto(), &plan);
         let get = |name: &str| {

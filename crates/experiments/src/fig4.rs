@@ -152,6 +152,7 @@ mod tests {
             scale: 0.06,
             max_cycles: 3_000_000,
             check: false,
+            ..RunPlan::full()
         };
         // A write-hot subset is enough to check the trend cheaply.
         let exec = Executor::sequential();

@@ -153,6 +153,7 @@ mod tests {
             scale: 0.06,
             max_cycles: 3_000_000,
             check: false,
+            ..RunPlan::full()
         };
         let exec = Executor::sequential();
         let w = suite::by_name("kmeans").expect("kmeans");

@@ -96,6 +96,7 @@ mod tests {
             scale: 0.06,
             max_cycles: 3_000_000,
             check: false,
+            ..RunPlan::full()
         };
         let w = suite::by_name("kmeans").expect("kmeans");
         let out = crate::runner::run(L2Choice::TwoPartC1, &w, &plan);

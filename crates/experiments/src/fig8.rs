@@ -222,6 +222,7 @@ mod tests {
             scale: 0.3,
             max_cycles: 3_000_000,
             check: false,
+            ..RunPlan::full()
         };
         let w = suite::by_name("nw").expect("nw");
         let base = run(L2Choice::SramBaseline, &w, &plan);
@@ -242,6 +243,7 @@ mod tests {
             scale: 0.08,
             max_cycles: 3_000_000,
             check: false,
+            ..RunPlan::full()
         };
         let w = suite::by_name("lud").expect("lud");
         let base = run(L2Choice::SramBaseline, &w, &plan);

@@ -21,6 +21,7 @@
 //! | [`fig6`]   | Fig. 6 — LR rewrite-interval distribution |
 //! | [`fig8`]   | Fig. 8 — speedup, dynamic power, total power |
 //! | [`ablations`] | beyond-paper design-space studies |
+//! | [`faults`]  | fault-injection sweep: error rate vs. IPC/energy/data loss |
 //! | [`workload_table`] | measured characterisation of the synthetic suite |
 
 #![forbid(unsafe_code)]
@@ -28,6 +29,8 @@
 
 pub mod ablations;
 pub mod configs;
+pub mod error;
+pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
@@ -40,4 +43,5 @@ pub mod table2;
 pub mod workload_table;
 
 pub use configs::{gpu_config, L2Choice};
-pub use runner::{Executor, ExecutorStats, RunOutput, RunPlan};
+pub use error::RunError;
+pub use runner::{Executor, ExecutorStats, FaultSpec, RunOutput, RunPlan};

@@ -16,11 +16,12 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use sttgpu_core::{LlcModel, TwoPartStats};
+use sttgpu_core::{FaultConfig, LlcModel, TwoPartStats};
 use sttgpu_device::energy::EnergyEvent;
 use sttgpu_sim::{Gpu, GpuConfig, L2ModelConfig, RunMetrics, Workload};
 use sttgpu_stats::Histogram;
@@ -30,6 +31,30 @@ use sttgpu_trace::{
 use sttgpu_workloads::suite;
 
 use crate::configs::{gpu_config, L2Choice};
+use crate::error::{panic_message, RunError};
+
+/// Fault injection carried by a [`RunPlan`]: a uniform per-mechanism
+/// error rate (see [`FaultConfig::uniform`]) applied to two-part L2
+/// configurations, and the seed of the deterministic fault stream.
+/// Monolithic baselines have no retention mechanism to fault and run
+/// unchanged. Rate 0 keeps the fault plan disabled — byte-transparent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Uniform per-mechanism error rate in `[0, 1]`.
+    pub rate: f64,
+    /// Seed of the fault stream (independent of the workload seed).
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// No fault injection.
+    pub const NONE: FaultSpec = FaultSpec { rate: 0.0, seed: 0 };
+
+    /// Whether this spec injects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+}
 
 /// How an experiment run is sized.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,6 +67,8 @@ pub struct RunPlan {
     /// (`--check`): events stream through a [`Checker`] and the
     /// [`RunOutput::check`] report carries any violations.
     pub check: bool,
+    /// Fault injection applied to two-part configurations (`--faults`).
+    pub fault: FaultSpec,
 }
 
 impl RunPlan {
@@ -51,6 +78,7 @@ impl RunPlan {
             scale: 1.0,
             max_cycles: 6_000_000,
             check: false,
+            fault: FaultSpec::NONE,
         }
     }
 
@@ -60,6 +88,7 @@ impl RunPlan {
             scale: 0.25,
             max_cycles: 2_000_000,
             check: false,
+            fault: FaultSpec::NONE,
         }
     }
 
@@ -73,6 +102,13 @@ impl RunPlan {
     /// A plan with the invariant checker switched on or off.
     pub fn with_check(mut self, check: bool) -> Self {
         self.check = check;
+        self
+    }
+
+    /// A plan with fault injection at `rate` under `seed`.
+    pub fn with_faults(mut self, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate outside [0, 1]");
+        self.fault = FaultSpec { rate, seed };
         self
     }
 }
@@ -147,13 +183,36 @@ fn close_check(checker: &Rc<RefCell<Checker>>, metrics: &RunMetrics) -> CheckRep
     c.report()
 }
 
-/// Runs `workload` on a fully custom GPU configuration.
-pub fn run_config(cfg: GpuConfig, workload: &Workload, plan: &RunPlan) -> RunOutput {
-    let scaled = if (plan.scale - 1.0).abs() < 1e-9 {
+/// Salt mixed into the workload and fault seeds on retry attempts, so a
+/// retried run is deterministic yet decorrelated from the crashed one.
+const RETRY_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Maximum attempts [`try_run_config`] makes before reporting
+/// [`RunError::Panicked`].
+pub const MAX_RUN_ATTEMPTS: u32 = 3;
+
+/// One simulation attempt. `attempt` 0 is the canonical run; retries
+/// (attempt > 0) salt the workload and fault seeds deterministically.
+fn run_config_once(
+    mut cfg: GpuConfig,
+    workload: &Workload,
+    plan: &RunPlan,
+    attempt: u32,
+) -> RunOutput {
+    let mut scaled = if (plan.scale - 1.0).abs() < 1e-9 {
         workload.clone()
     } else {
         suite::scaled(workload, plan.scale)
     };
+    if attempt > 0 {
+        scaled.seed ^= u64::from(attempt).wrapping_mul(RETRY_SALT);
+    }
+    if plan.fault.is_enabled() {
+        if let L2ModelConfig::TwoPart(tp) = &mut cfg.l2 {
+            let seed = plan.fault.seed ^ u64::from(attempt).wrapping_mul(RETRY_SALT);
+            tp.fault = FaultConfig::uniform(seed, plan.fault.rate);
+        }
+    }
     let mut gpu = Gpu::new(cfg);
     let checker = plan.check.then(|| {
         let checker = Rc::new(RefCell::new(checker_for(&gpu)));
@@ -181,15 +240,67 @@ pub fn run_config(cfg: GpuConfig, workload: &Workload, plan: &RunPlan) -> RunOut
     }
 }
 
+/// Fallible [`run_config`]: catches a simulation panic, retries with a
+/// deterministically salted seed up to [`MAX_RUN_ATTEMPTS`] times, and
+/// reports [`RunError::Panicked`] if every attempt crashed. Panic
+/// isolation means one poisoned run cannot abort a whole sweep.
+pub fn try_run_config(
+    cfg: GpuConfig,
+    workload: &Workload,
+    plan: &RunPlan,
+) -> Result<RunOutput, RunError> {
+    let mut last = String::new();
+    for attempt in 0..MAX_RUN_ATTEMPTS {
+        let attempt_cfg = cfg.clone();
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_config_once(attempt_cfg, workload, plan, attempt)
+        })) {
+            Ok(out) => return Ok(out),
+            Err(payload) => last = panic_message(payload.as_ref()),
+        }
+    }
+    Err(RunError::Panicked {
+        attempts: MAX_RUN_ATTEMPTS,
+        what: last,
+    })
+}
+
+/// Fallible [`run`], with the same retry/isolation semantics as
+/// [`try_run_config`].
+pub fn try_run(
+    choice: L2Choice,
+    workload: &Workload,
+    plan: &RunPlan,
+) -> Result<RunOutput, RunError> {
+    try_run_config(gpu_config(choice), workload, plan)
+}
+
+/// Runs `workload` on a fully custom GPU configuration.
+///
+/// # Panics
+///
+/// Panics if the simulation itself panics on every retry; use
+/// [`try_run_config`] where a sweep must survive a poisoned run.
+pub fn run_config(cfg: GpuConfig, workload: &Workload, plan: &RunPlan) -> RunOutput {
+    match try_run_config(cfg, workload, plan) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
 /// Runs `workload` on one of the five Table 2 configurations.
+///
+/// # Panics
+///
+/// Same contract as [`run_config`].
 pub fn run(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunOutput {
     run_config(gpu_config(choice), workload, plan)
 }
 
-/// Memoization key of one named-configuration run. `RunPlan` holds an
-/// `f64` scale, so the key stores its bit pattern (plans are constructed,
-/// not computed, so bit equality is the right notion here).
-type RunKey = (L2Choice, String, u64, u64, bool);
+/// Memoization key of one named-configuration run. `RunPlan` holds `f64`
+/// scale/rate fields, so the key stores their bit patterns (plans are
+/// constructed, not computed, so bit equality is the right notion here).
+type RunKey = (L2Choice, String, u64, u64, bool, u64, u64);
 
 fn run_key(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunKey {
     (
@@ -198,6 +309,8 @@ fn run_key(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunKey {
         plan.scale.to_bits(),
         plan.max_cycles,
         plan.check,
+        plan.fault.rate.to_bits(),
+        plan.fault.seed,
     )
 }
 
@@ -310,45 +423,64 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any worker.
+    /// Re-raises the lowest-index panic from `f` — but only after every
+    /// other item has run to completion, so one poisoned item never
+    /// strands the rest of the batch mid-flight.
     pub fn map<I, R, F>(&self, items: &[I], f: F) -> Vec<R>
     where
         I: Sync,
         R: Send,
         F: Fn(&I) -> R + Sync,
     {
+        type Caught<R> = Result<R, Box<dyn std::any::Any + Send>>;
         let n = items.len();
         let workers = self.jobs.min(n);
-        if workers <= 1 {
-            return items.iter().map(f).collect();
-        }
-        let next = AtomicUsize::new(0);
-        // Each worker tags results with their input index; no locks on the
-        // hot path, and a panic in any worker propagates via join().
-        let tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            local.push((i, f(&items[i])));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("executor worker panicked"))
+        let tagged: Vec<(usize, Caught<R>)> = if workers <= 1 {
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| (i, catch_unwind(AssertUnwindSafe(|| f(item)))))
                 .collect()
-        });
+        } else {
+            let next = AtomicUsize::new(0);
+            // Each worker tags results with their input index; no locks on
+            // the hot path. Panics from `f` are caught per item, so every
+            // worker drains the queue even when some items crash.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= n {
+                                    break;
+                                }
+                                local.push((i, catch_unwind(AssertUnwindSafe(|| f(&items[i])))));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("executor worker panicked"))
+                    .collect()
+            })
+        };
         let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
         for (i, r) in tagged {
-            slots[i] = Some(r);
+            match r {
+                Ok(v) => slots[i] = Some(v),
+                Err(p) => match &first_panic {
+                    Some((j, _)) if *j <= i => {}
+                    _ => first_panic = Some((i, p)),
+                },
+            }
+        }
+        if let Some((_, p)) = first_panic {
+            resume_unwind(p);
         }
         slots
             .into_iter()
@@ -405,7 +537,7 @@ mod tests {
         RunPlan {
             scale: 0.05,
             max_cycles: 2_000_000,
-            check: false,
+            ..RunPlan::full()
         }
     }
 
@@ -462,7 +594,7 @@ mod tests {
         let other = RunPlan {
             scale: 0.04,
             max_cycles: 2_000_000,
-            check: false,
+            ..RunPlan::full()
         };
         let c = exec.run(L2Choice::SramBaseline, &w, &other);
         assert!(!Arc::ptr_eq(&a, &c));
@@ -506,9 +638,88 @@ mod tests {
             &RunPlan {
                 scale: 0.02,
                 max_cycles: 2_000_000,
-                check: false,
+                ..RunPlan::full()
             },
         );
         assert!(smaller.metrics.instructions < small.metrics.instructions);
+    }
+
+    #[test]
+    fn map_isolates_panicking_items_until_the_batch_completes() {
+        use std::sync::atomic::AtomicU32;
+        let exec = Executor::new(4);
+        let items: Vec<u32> = (0..16).collect();
+        let completed = AtomicU32::new(0);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            exec.map(&items, |&i| {
+                if i == 3 {
+                    panic!("poisoned item {i}");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        std::panic::set_hook(hook);
+        let payload = result.expect_err("the poisoned item's panic must re-raise");
+        assert_eq!(
+            crate::error::panic_message(payload.as_ref()),
+            "poisoned item 3"
+        );
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            15,
+            "every healthy item runs to completion first"
+        );
+    }
+
+    #[test]
+    fn try_run_succeeds_on_healthy_runs() {
+        let w = suite::by_name("lud").expect("lud");
+        let out = try_run(L2Choice::SramBaseline, &w, &tiny_plan()).expect("healthy run");
+        assert!(out.metrics.finished);
+    }
+
+    #[test]
+    fn fault_spec_changes_the_memo_key() {
+        let exec = Executor::new(1);
+        let w = suite::by_name("lud").expect("lud");
+        let plan = tiny_plan();
+        let a = exec.run(L2Choice::TwoPartC1, &w, &plan);
+        let b = exec.run(L2Choice::TwoPartC1, &w, &plan.with_faults(1e-4, 9));
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "faulted plan must not hit the clean cache"
+        );
+        assert_eq!(exec.stats().runs_executed, 2);
+    }
+
+    #[test]
+    fn zero_rate_fault_spec_is_byte_transparent() {
+        let w = suite::by_name("nw").expect("nw");
+        let plan = tiny_plan();
+        let clean = run(L2Choice::TwoPartC1, &w, &plan);
+        let zeroed = run(L2Choice::TwoPartC1, &w, &plan.with_faults(0.0, 1234));
+        assert_eq!(clean.metrics, zeroed.metrics);
+        assert_eq!(clean.two_part, zeroed.two_part);
+        assert_eq!(clean.write_matrix, zeroed.write_matrix);
+    }
+
+    #[test]
+    fn faulted_runs_stay_deterministic_and_counted() {
+        let w = suite::by_name("nw").expect("nw");
+        let plan = tiny_plan().with_faults(5e-4, 7).with_check(true);
+        let a = run(L2Choice::TwoPartC1, &w, &plan);
+        let b = run(L2Choice::TwoPartC1, &w, &plan);
+        assert_eq!(a.metrics, b.metrics, "fault stream must be replayable");
+        assert_eq!(a.two_part, b.two_part);
+        let tp = a.two_part.expect("two-part stats");
+        assert!(
+            tp.ecc_corrections + tp.ecc_uncorrectable + tp.refresh_drops + tp.buffer_stalls > 0,
+            "a nonzero rate must actually inject"
+        );
+        let report = a.check.expect("checker attached");
+        assert!(report.is_clean(), "checker must stay green under injection");
     }
 }

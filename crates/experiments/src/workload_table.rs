@@ -140,6 +140,7 @@ mod tests {
             scale: 0.08,
             max_cycles: 6_000_000,
             check: false,
+            ..RunPlan::full()
         };
         let rows = compute(&Executor::auto(), &plan);
         assert_eq!(rows.len(), 16);

@@ -16,6 +16,7 @@ fn tiny_plan() -> RunPlan {
         scale: 0.05,
         max_cycles: 2_000_000,
         check: false,
+        ..RunPlan::full()
     }
 }
 

@@ -1,0 +1,161 @@
+//! Crash-resilience contract of the `repro` binary: a killed sweep
+//! resumed with `--resume` must finish with byte-identical artefacts, and
+//! a panicking artefact must be quarantined without taking the rest of
+//! the sweep down.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const ARTEFACTS: [&str; 4] = ["table1", "table2", "fig3", "fig6"];
+const SCALE: &str = "0.02";
+
+fn repro_cmd(out_dir: &Path, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.args(["--scale", SCALE, "--jobs", "4", "--out"])
+        .arg(out_dir)
+        .args(extra)
+        .args(ARTEFACTS)
+        .current_dir(out_dir);
+    cmd
+}
+
+/// All .txt/.csv artefact files in a directory, sorted by name. The
+/// journal (`repro.journal`) and `BENCH_repro.json` carry timings and
+/// are deliberately outside the byte-identity contract.
+fn artefact_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .expect("read out dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv" || x == "txt"))
+        .map(|p| {
+            let name = p
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            (name, fs::read(&p).expect("read artefact"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sttgpu-resume-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create out dir");
+    dir
+}
+
+/// Kill a sweep once its journal shows progress, resume it, and demand
+/// the final artefact set is byte-identical to an uninterrupted run.
+#[test]
+fn killed_sweep_resumes_to_byte_identical_artefacts() {
+    // Uninterrupted reference run.
+    let golden_dir = fresh_dir("golden");
+    let status = repro_cmd(&golden_dir, &[]).status().expect("spawn repro");
+    assert!(status.success(), "reference run failed");
+    let golden = artefact_files(&golden_dir);
+    assert!(
+        golden.iter().filter(|(n, _)| n.ends_with(".txt")).count() >= ARTEFACTS.len(),
+        "reference run wrote too few artefacts"
+    );
+
+    // Interrupted run: wait until at least one artefact is journalled
+    // (the static tables land almost immediately, well before the
+    // simulation-backed figures), then kill the process mid-sweep.
+    let dir = fresh_dir("interrupted");
+    let mut child = repro_cmd(&dir, &[])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn repro");
+    let journal = dir.join("repro.journal");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut finished_early = false;
+    loop {
+        if fs::read_to_string(&journal).is_ok_and(|t| t.lines().any(|l| l.starts_with("ok "))) {
+            break;
+        }
+        if child.try_wait().expect("poll child").is_some() {
+            finished_early = true;
+            break;
+        }
+        assert!(Instant::now() < deadline, "no journal progress within 120s");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if !finished_early {
+        child.kill().expect("kill repro");
+    }
+    let _ = child.wait();
+
+    // Resume and compare. Even in the (harmless) race where the child
+    // finished before the kill, --resume must still converge to the
+    // byte-identical golden set — then by skipping everything.
+    let resumed = repro_cmd(&dir, &["--resume"])
+        .output()
+        .expect("resume repro");
+    assert!(
+        resumed.status.success(),
+        "resume run failed:\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("already complete (resume)"),
+        "resume run skipped nothing — the journal was ignored:\n{stderr}"
+    );
+    let after = artefact_files(&dir);
+    assert_eq!(
+        golden.len(),
+        after.len(),
+        "resumed sweep produced a different artefact set"
+    );
+    for ((name_a, bytes_a), (name_b, bytes_b)) in golden.iter().zip(&after) {
+        assert_eq!(name_a, name_b, "artefact set diverges after resume");
+        assert_eq!(
+            bytes_a, bytes_b,
+            "{name_a} is not byte-identical after kill + resume"
+        );
+    }
+    let _ = fs::remove_dir_all(&golden_dir);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A panicking artefact is quarantined: the sweep continues, the failure
+/// is reported in QUARANTINE.txt, and the exit code is nonzero.
+#[test]
+fn panicking_artefact_is_quarantined_without_aborting_the_sweep() {
+    let dir = fresh_dir("quarantine");
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", SCALE, "--jobs", "2", "--out"])
+        .arg(&dir)
+        .args(["table1", "table2"])
+        .env("STTGPU_REPRO_PANIC", "table1")
+        .current_dir(&dir)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        !output.status.success(),
+        "a quarantined artefact must force a nonzero exit"
+    );
+    let quarantine = fs::read_to_string(dir.join("QUARANTINE.txt"))
+        .expect("QUARANTINE.txt must exist after a quarantined artefact");
+    assert!(
+        quarantine.lines().any(|l| l.starts_with("table1\t")),
+        "QUARANTINE.txt must name the poisoned artefact:\n{quarantine}"
+    );
+    // The sweep moved past the poisoned artefact: table2 still landed,
+    // was journalled, and table1 was neither written nor journalled.
+    assert!(
+        dir.join("table2.txt").is_file(),
+        "sweep aborted after panic"
+    );
+    assert!(!dir.join("table1.txt").is_file());
+    let journal = fs::read_to_string(dir.join("repro.journal")).expect("journal");
+    assert!(journal.lines().any(|l| l.starts_with("ok table2 ")));
+    assert!(!journal.lines().any(|l| l.starts_with("ok table1 ")));
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -83,7 +83,7 @@ impl BufferDir {
 
 /// Number of dynamic-energy categories ([`TraceEvent::EnergyDeposit`]'s
 /// `category` ranges over `0..ENERGY_CATEGORIES`).
-pub const ENERGY_CATEGORIES: usize = 7;
+pub const ENERGY_CATEGORIES: usize = 8;
 
 /// One compact, typed trace event.
 ///
@@ -181,6 +181,57 @@ pub enum TraceEvent {
         /// Transfer direction.
         dir: BufferDir,
         /// Line address.
+        la: u64,
+        /// Simulated time, ns.
+        now_ns: u64,
+    },
+    /// Per-line SECDED corrected a single-bit error on a resident line
+    /// (injected early retention flip, caught at read or scrub time).
+    EccCorrected {
+        /// Part holding the line.
+        part: PartId,
+        /// Line address.
+        la: u64,
+        /// Simulated time, ns.
+        now_ns: u64,
+    },
+    /// Per-line SECDED detected a multi-bit error it cannot correct; the
+    /// line was dropped and the access (if any) handled as a miss.
+    EccUncorrectable {
+        /// Part the corrupt line was dropped from.
+        part: PartId,
+        /// Line address.
+        la: u64,
+        /// Whether dirty (unwritten-back) data was lost — clean lines are
+        /// refetched from DRAM and lose nothing.
+        data_lost: bool,
+        /// Simulated time, ns.
+        now_ns: u64,
+    },
+    /// The refresh engine dropped a due LR refresh (injected fault); the
+    /// line is left to expire or be re-serviced on the next sweep.
+    RefreshDropped {
+        /// Line address.
+        la: u64,
+        /// The line's retention timestamp.
+        written_at_ns: u64,
+        /// Simulated time, ns.
+        now_ns: u64,
+    },
+    /// A swap-buffer reservation stalled transiently (injected fault);
+    /// the transfer fell back exactly as on a full buffer.
+    BufferStall {
+        /// Transfer direction.
+        dir: BufferDir,
+        /// Line address.
+        la: u64,
+        /// Simulated time, ns.
+        now_ns: u64,
+    },
+    /// A transient bank fault forced a tag-probe retry (injected fault);
+    /// costs one extra tag lookup of latency.
+    BankFault {
+        /// Line address probed.
         la: u64,
         /// Simulated time, ns.
         now_ns: u64,
@@ -414,6 +465,33 @@ pub fn to_json(ev: &TraceEvent) -> String {
             "{{\"ev\":\"buffer_overflow\",\"dir\":\"{}\",\"la\":{la},\"now_ns\":{now_ns}}}",
             json_escape_free(dir.name())
         ),
+        EccCorrected { part, la, now_ns } => format!(
+            "{{\"ev\":\"ecc_corrected\",\"part\":\"{}\",\"la\":{la},\"now_ns\":{now_ns}}}",
+            json_escape_free(part.name())
+        ),
+        EccUncorrectable {
+            part,
+            la,
+            data_lost,
+            now_ns,
+        } => format!(
+            "{{\"ev\":\"ecc_uncorrectable\",\"part\":\"{}\",\"la\":{la},\"data_lost\":{data_lost},\"now_ns\":{now_ns}}}",
+            json_escape_free(part.name())
+        ),
+        RefreshDropped {
+            la,
+            written_at_ns,
+            now_ns,
+        } => format!(
+            "{{\"ev\":\"refresh_dropped\",\"la\":{la},\"written_at_ns\":{written_at_ns},\"now_ns\":{now_ns}}}"
+        ),
+        BufferStall { dir, la, now_ns } => format!(
+            "{{\"ev\":\"buffer_stall\",\"dir\":\"{}\",\"la\":{la},\"now_ns\":{now_ns}}}",
+            json_escape_free(dir.name())
+        ),
+        BankFault { la, now_ns } => {
+            format!("{{\"ev\":\"bank_fault\",\"la\":{la},\"now_ns\":{now_ns}}}")
+        }
         MshrAlloc { space, la } => {
             format!("{{\"ev\":\"mshr_alloc\",\"space\":{space},\"la\":{la}}}")
         }
@@ -568,7 +646,11 @@ const SAMPLE_CAP: usize = 32;
 /// 4. every block admitted to a swap buffer is eventually installed
 ///    (conservation — overflowed blocks are never admitted);
 /// 5. MSHRs never hold duplicate outstanding misses;
-/// 6. reported metrics and energy equal the event-derived tallies.
+/// 6. reported metrics and energy equal the event-derived tallies;
+/// 7. ECC outcomes reference resident lines: a correction of (or an
+///    uncorrectable drop of, or a dropped refresh for) a line that is not
+///    resident is a violation — which also forces the post-drop access to
+///    observe a miss.
 #[derive(Debug, Clone)]
 pub struct Checker {
     cfg: CheckConfig,
@@ -819,6 +901,27 @@ impl EventSink for Checker {
                 }
             }
             BufferOverflow { .. } => {}
+            EccCorrected { part, la, .. } => {
+                if !self.resident[part.index()].contains(&la) {
+                    self.violate(format!(
+                        "ECC correction on line {la:#x} in {} where it is not resident",
+                        part.name()
+                    ));
+                }
+            }
+            EccUncorrectable { part, la, .. } => {
+                // An uncorrectable error drops the line; the subsequent
+                // access must then observe a miss, which the residency
+                // mirror now enforces for free.
+                self.on_remove(part, la, "ECC drop");
+            }
+            RefreshDropped { la, .. } => {
+                if !self.resident[PartId::Lr.index()].contains(&la) {
+                    self.violate(format!("dropped refresh of non-resident LR line {la:#x}"));
+                }
+            }
+            BufferStall { .. } => {}
+            BankFault { .. } => {}
             MshrAlloc { space, la } => {
                 if !self.mshr.entry(space).or_default().insert(la) {
                     self.violate(format!(
@@ -1209,6 +1312,120 @@ mod tests {
             ],
         );
         assert_eq!(r.violations, 2);
+    }
+
+    #[test]
+    fn ecc_events_track_residency() {
+        // A correction on a resident line is clean; an uncorrectable
+        // error drops residency, so the miss + refill that follow are
+        // clean too.
+        let r = checked(
+            retention_cfg(),
+            &[
+                TraceEvent::Fill {
+                    part: PartId::Lr,
+                    la: 6,
+                    now_ns: 0,
+                },
+                TraceEvent::EccCorrected {
+                    part: PartId::Lr,
+                    la: 6,
+                    now_ns: 10,
+                },
+                TraceEvent::EccUncorrectable {
+                    part: PartId::Lr,
+                    la: 6,
+                    data_lost: false,
+                    now_ns: 20,
+                },
+                TraceEvent::Miss {
+                    la: 6,
+                    write: false,
+                    now_ns: 20,
+                },
+                TraceEvent::Fill {
+                    part: PartId::Hr,
+                    la: 6,
+                    now_ns: 30,
+                },
+                TraceEvent::MetricsReport {
+                    read_hits: 0,
+                    read_misses: 1,
+                    write_hits: 0,
+                    write_misses: 0,
+                    writebacks: 0,
+                },
+            ],
+        );
+        assert!(r.is_clean(), "{:?}", r.samples);
+    }
+
+    #[test]
+    fn ecc_events_on_nonresident_lines_are_flagged() {
+        let r = checked(
+            CheckConfig::default(),
+            &[
+                TraceEvent::EccCorrected {
+                    part: PartId::Hr,
+                    la: 1,
+                    now_ns: 0,
+                },
+                TraceEvent::EccUncorrectable {
+                    part: PartId::Lr,
+                    la: 2,
+                    data_lost: true,
+                    now_ns: 0,
+                },
+                TraceEvent::RefreshDropped {
+                    la: 3,
+                    written_at_ns: 0,
+                    now_ns: 5,
+                },
+            ],
+        );
+        assert_eq!(r.violations, 3, "{:?}", r.samples);
+    }
+
+    #[test]
+    fn stall_and_bank_fault_events_are_informational() {
+        let r = checked(
+            CheckConfig::default(),
+            &[
+                TraceEvent::BufferStall {
+                    dir: BufferDir::HrToLr,
+                    la: 4,
+                    now_ns: 0,
+                },
+                TraceEvent::BankFault { la: 4, now_ns: 0 },
+            ],
+        );
+        assert!(r.is_clean(), "{:?}", r.samples);
+        assert_eq!(r.events_seen, 2);
+    }
+
+    #[test]
+    fn fault_events_render_as_json() {
+        assert_eq!(
+            to_json(&TraceEvent::EccUncorrectable {
+                part: PartId::Lr,
+                la: 5,
+                data_lost: true,
+                now_ns: 9,
+            }),
+            "{\"ev\":\"ecc_uncorrectable\",\"part\":\"LR\",\"la\":5,\"data_lost\":true,\"now_ns\":9}"
+        );
+        assert_eq!(
+            to_json(&TraceEvent::RefreshDropped {
+                la: 1,
+                written_at_ns: 2,
+                now_ns: 3,
+            }),
+            "{\"ev\":\"refresh_dropped\",\"la\":1,\"written_at_ns\":2,\"now_ns\":3}"
+        );
+        assert_eq!(
+            to_json(&TraceEvent::BankFault { la: 7, now_ns: 8 }),
+            "{\"ev\":\"bank_fault\",\"la\":7,\"now_ns\":8}"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         scale,
         max_cycles: 20_000_000,
         check: false,
+        ..RunPlan::full()
     };
     println!(
         "{:<14} {:>9} {:>9} {:>9} {:>9} {:>9}   (speedup | total power vs SRAM)",

@@ -14,6 +14,7 @@ fn plan() -> RunPlan {
         scale: 0.3,
         max_cycles: 8_000_000,
         check: false,
+        ..RunPlan::full()
     }
 }
 
@@ -23,6 +24,7 @@ fn every_workload_completes_on_every_configuration() {
         scale: 0.05,
         max_cycles: 8_000_000,
         check: false,
+        ..RunPlan::full()
     };
     for w in suite::all() {
         for choice in L2Choice::ALL {
@@ -119,6 +121,7 @@ fn register_limited_workload_gains_from_c2_register_file() {
         scale: 1.0,
         max_cycles: 20_000_000,
         check: false,
+        ..RunPlan::full()
     };
     let w = suite::by_name("srad_v2").expect("srad_v2");
     let base = run(L2Choice::SramBaseline, &w, &full);
