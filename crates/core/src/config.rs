@@ -64,6 +64,18 @@ pub enum ConfigError {
         /// Offending rate.
         rate: f64,
     },
+    /// A latency derived from the device model is NaN, negative,
+    /// infinite, or too large for integer-nanosecond timing — the `as
+    /// u64` cast in the cache would silently turn it into garbage.
+    DeviceLatency {
+        /// Part name ("LR" or "HR").
+        part: &'static str,
+        /// Which latency ("tag", "read", "write", "read-occupancy",
+        /// "write-occupancy").
+        which: &'static str,
+        /// Offending latency, ns.
+        ns: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -94,11 +106,33 @@ impl fmt::Display for ConfigError {
             ConfigError::FaultRate { mechanism, rate } => {
                 write!(f, "fault {mechanism} rate {rate} outside [0, 1]")
             }
+            ConfigError::DeviceLatency { part, which, ns } => write!(
+                f,
+                "{part} {which} latency {ns} ns is not a usable finite non-negative duration"
+            ),
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Upper bound on a single device latency, ns (~11.5 days). Anything
+/// larger is a device-table bug, and values approaching 2^63 would make
+/// the `ceil() as u64` casts in the cache wrap.
+const MAX_DEVICE_LATENCY_NS: f64 = 1e15;
+
+/// Checks that one device-derived latency is a finite, non-negative
+/// duration small enough for integer-nanosecond timing.
+pub(crate) fn check_latency_ns(
+    part: &'static str,
+    which: &'static str,
+    ns: f64,
+) -> Result<(), ConfigError> {
+    if !ns.is_finite() || !(0.0..=MAX_DEVICE_LATENCY_NS).contains(&ns) {
+        return Err(ConfigError::DeviceLatency { part, which, ns });
+    }
+    Ok(())
+}
 
 /// How the two tag arrays are searched on an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -295,6 +329,48 @@ impl TwoPartConfig {
                 return Err(ConfigError::FaultRate { mechanism, rate });
             }
         }
+        // Device-model latencies: price both arrays exactly as
+        // `TwoPartLlc::new` will and reject any latency the
+        // integer-nanosecond timing cannot represent, so a malformed
+        // device table fails here with a structured reason instead of
+        // silently casting NaN to 0 deep in the cache. Bank counts of
+        // zero are left to the geometry constructor's own panic, as
+        // before.
+        if self.lr_banks >= 1 && self.hr_banks >= 1 {
+            use sttgpu_device::array::{ArrayDesign, ArrayGeometry};
+            use sttgpu_device::cell::MemTechnology;
+            let designs = [
+                (
+                    "LR",
+                    self.lr_kb,
+                    self.lr_ways,
+                    self.lr_banks,
+                    self.lr_retention,
+                ),
+                (
+                    "HR",
+                    self.hr_kb,
+                    self.hr_ways,
+                    self.hr_banks,
+                    self.hr_retention,
+                ),
+            ];
+            for (part, kb, ways, banks, retention) in designs {
+                let geom = ArrayGeometry::new(kb * 1024, self.line_bytes, ways, banks);
+                let mtj = sttgpu_device::mtj::MtjDesign::for_retention(retention)
+                    .with_ewt_savings(self.ewt_savings);
+                let design = ArrayDesign::new(geom, MemTechnology::SttRam(mtj));
+                for (which, ns) in [
+                    ("tag", design.tag_latency_ns()),
+                    ("read", design.read_latency_ns()),
+                    ("write", design.write_latency_ns()),
+                    ("read-occupancy", design.read_occupancy_ns()),
+                    ("write-occupancy", design.write_occupancy_ns()),
+                ] {
+                    check_latency_ns(part, which, ns)?;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -430,7 +506,7 @@ impl TwoPartConfig {
     pub fn check_config(&self) -> sttgpu_trace::CheckConfig {
         let lr_rc = crate::RetentionTracker::new(self.lr_retention, self.lr_rc_bits);
         let hr_rc = crate::RetentionTracker::new(self.hr_retention, self.hr_rc_bits);
-        let hr_horizon_ns = hr_rc.tick_ns() * hr_rc.max_count();
+        let hr_horizon_ns = hr_rc.tick_ns().saturating_mul(hr_rc.max_count());
         sttgpu_trace::CheckConfig {
             lr_max_hit_age_ns: lr_rc.retention_ns(),
             lr_tail_start_ns: lr_rc
@@ -597,5 +673,38 @@ mod tests {
         let cfg = base().with_fault(FaultConfig::uniform(7, 1e-4));
         assert!(cfg.fault.is_enabled());
         assert_eq!(cfg.fault.seed, 7);
+    }
+
+    #[test]
+    fn latency_check_rejects_unusable_durations() {
+        for bad in [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -1.0,
+            -1e-9,
+            1e16,
+        ] {
+            let err = check_latency_ns("LR", "tag", bad).expect_err("latency should be rejected");
+            let msg = err.to_string();
+            assert!(msg.contains("LR tag latency"), "message {msg:?}");
+        }
+    }
+
+    #[test]
+    fn latency_check_accepts_real_durations() {
+        for good in [0.0, 0.4, 3.0, 17.25, 1e6] {
+            assert_eq!(check_latency_ns("HR", "write", good), Ok(()));
+        }
+    }
+
+    #[test]
+    fn validate_prices_every_paper_geometry_latency() {
+        // The real device tables must pass the latency gate on every
+        // geometry the experiments sweep, including EWT-adjusted writes.
+        for (lr, hr) in [(192, 1344), (48, 336), (96, 672)] {
+            let cfg = TwoPartConfig::new(lr, 2, hr, 7, 256).with_ewt_savings(0.4);
+            assert_eq!(cfg.validate(), Ok(()));
+        }
     }
 }

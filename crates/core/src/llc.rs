@@ -153,6 +153,20 @@ pub struct SingleLlc {
     write_occ_ns: u64,
 }
 
+/// Converts a validated device latency to integer nanoseconds (ceiling).
+///
+/// [`TwoPartConfig::validate`](crate::TwoPartConfig::validate) rejects
+/// unusable latencies up front; this guards the constructors that take a
+/// raw technology directly, so a malformed device table panics with a
+/// clear message instead of `as` silently casting NaN or a negative to 0.
+pub(crate) fn latency_to_ns(what: &'static str, ns: f64) -> u64 {
+    assert!(
+        ns.is_finite() && (0.0..=1e15).contains(&ns),
+        "{what} latency {ns} ns is not a usable finite non-negative duration"
+    );
+    ns.ceil() as u64
+}
+
 impl SingleLlc {
     /// Creates a single-array LLC of `kb` kilobytes.
     ///
@@ -173,11 +187,11 @@ impl SingleLlc {
             energy,
             trace: Trace::off(),
             stats_writebacks: 0,
-            tag_ns: design.tag_latency_ns().ceil() as u64,
-            read_ns: design.read_latency_ns().ceil() as u64,
-            write_ns: design.write_latency_ns().ceil() as u64,
-            read_occ_ns: design.read_occupancy_ns().ceil() as u64,
-            write_occ_ns: design.write_occupancy_ns().ceil() as u64,
+            tag_ns: latency_to_ns("tag", design.tag_latency_ns()),
+            read_ns: latency_to_ns("read", design.read_latency_ns()),
+            write_ns: latency_to_ns("write", design.write_latency_ns()),
+            read_occ_ns: latency_to_ns("read-occupancy", design.read_occupancy_ns()),
+            write_occ_ns: latency_to_ns("write-occupancy", design.write_occupancy_ns()),
         }
     }
 

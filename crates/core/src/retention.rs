@@ -42,6 +42,15 @@ impl RetentionTracker {
     /// Creates a tracker for a retention period divided into `2^bits`
     /// counter ticks.
     ///
+    /// The tick is the retention period over `2^bits` rounded to the
+    /// *nearest* nanosecond, not truncated: for a non-power-of-two period
+    /// (the paper's 26.5 µs LR point) a floor tick leaves up to
+    /// `2^bits - 1` ns of every period uncovered, pulling each refresh
+    /// deadline early by that much. Rounding up is clamped back to the
+    /// floor whenever it would push the last-tick deadline to or past the
+    /// expiry deadline, so `refresh_deadline_ns < expiry_deadline_ns`
+    /// holds for every constructible tracker.
+    ///
     /// # Panics
     ///
     /// Panics if `bits` is 0 or greater than 16, or if the tick period
@@ -52,8 +61,15 @@ impl RetentionTracker {
             "counter width {bits} out of range"
         );
         let retention_ns = retention.as_nanos_u64();
-        let tick_ns = retention_ns >> bits;
-        assert!(tick_ns > 0, "retention too short for a {bits}-bit counter");
+        let floor = retention_ns >> bits;
+        assert!(floor > 0, "retention too short for a {bits}-bit counter");
+        // `rem < 2^bits <= 2^16`, so the doubling cannot overflow.
+        let rem = retention_ns & ((1u64 << bits) - 1);
+        let mut tick_ns = floor + u64::from(rem * 2 >= (1u64 << bits));
+        let max_count = (1u64 << bits) - 1;
+        if tick_ns.saturating_mul(max_count) >= retention_ns {
+            tick_ns = floor;
+        }
         RetentionTracker {
             retention_ns,
             bits,
@@ -112,7 +128,7 @@ impl RetentionTracker {
     ///
     /// [`expiry_deadline_ns`]: RetentionTracker::expiry_deadline_ns
     pub fn refresh_deadline_ns(&self, written_at_ns: u64) -> u64 {
-        written_at_ns.saturating_add(self.tick_ns * self.max_count())
+        written_at_ns.saturating_add(self.tick_ns.saturating_mul(self.max_count()))
     }
 
     /// The absolute time at which the data is lost.
@@ -124,7 +140,27 @@ impl RetentionTracker {
     /// ticks earlier: the first instant at which
     /// [`needs_refresh_with_slack`](Self::needs_refresh_with_slack) holds.
     pub fn refresh_deadline_with_slack_ns(&self, written_at_ns: u64, slack: u64) -> u64 {
-        written_at_ns.saturating_add(self.tick_ns * self.max_count().saturating_sub(slack))
+        written_at_ns.saturating_add(
+            self.tick_ns
+                .saturating_mul(self.max_count().saturating_sub(slack)),
+        )
+    }
+
+    /// Longest gap between maintenance sweeps that still guarantees a
+    /// line reaching its refresh deadline is visited before it expires:
+    /// the window between the last-tick deadline and the expiry deadline,
+    /// capped at one tick so counters are observed at tick granularity.
+    ///
+    /// With a floor tick the window is at least one tick wide and the cap
+    /// is what binds; with a rounded-up tick the window shrinks below a
+    /// tick (e.g. 1000 ns / 4-bit: deadline 945, expiry 1000, window 55)
+    /// and a tick-cadence sweep could first visit a due line after it
+    /// already expired.
+    pub fn maintenance_interval_ns(&self) -> u64 {
+        let window = self
+            .retention_ns
+            .saturating_sub(self.tick_ns.saturating_mul(self.max_count()));
+        window.min(self.tick_ns)
     }
 }
 
@@ -217,6 +253,82 @@ mod tests {
         assert_eq!(rc.tick_ns(), 1_000_000);
         assert_eq!(rc.max_count(), 3);
         assert!(rc.needs_refresh(0, 3_000_000));
+    }
+
+    #[test]
+    fn rounded_tick_covers_the_remainder_window() {
+        // 1000 ns / 4-bit: the floor tick 62 spans only 62·16 = 992 ns,
+        // so every refresh deadline drifted 70 ns early (62·15 = 930).
+        // Nearest-rounding picks 63; the last-tick deadline lands at 945,
+        // still strictly inside the retention period.
+        let rc = RetentionTracker::new(RetentionTime::from_nanos(1_000.0), 4);
+        assert_eq!(rc.tick_ns(), 63);
+        assert_eq!(rc.refresh_deadline_ns(0), 945);
+        assert!(rc.refresh_deadline_ns(0) < rc.expiry_deadline_ns(0));
+        assert_eq!(rc.count(0, 945), 15, "deadline is the last tick");
+        assert!(!rc.is_expired(0, 999));
+    }
+
+    #[test]
+    fn paper_lr_retention_keeps_its_floor_tick() {
+        // 26.5 µs / 4-bit: remainder 4 of 16 rounds down, so the tick —
+        // and with it every published run — is unchanged at 1656 ns.
+        let rc = RetentionTracker::new(RetentionTime::from_micros(26.5), 4);
+        assert_eq!(rc.tick_ns(), 1_656);
+    }
+
+    #[test]
+    fn round_up_is_clamped_when_it_would_reach_expiry() {
+        // 24 ns / 4-bit: rounding 24/16 to 2 would put the last tick at
+        // 2·15 = 30 ≥ 24, past expiry; the tick must fall back to 1.
+        let rc = RetentionTracker::new(RetentionTime::from_nanos(24.0), 4);
+        assert_eq!(rc.tick_ns(), 1);
+        assert!(rc.refresh_deadline_ns(0) < rc.expiry_deadline_ns(0));
+    }
+
+    #[test]
+    fn deadline_invariant_holds_across_odd_retentions() {
+        for ns in [
+            17u64, 100, 999, 1_000, 1_001, 26_500, 65_535, 65_537, 1_000_003,
+        ] {
+            for bits in 1..=8u32 {
+                if ns >> bits == 0 {
+                    continue;
+                }
+                let rc = RetentionTracker::new(RetentionTime::from_nanos(ns as f64), bits);
+                assert!(
+                    rc.refresh_deadline_ns(0) < rc.expiry_deadline_ns(0),
+                    "{ns} ns / {bits} bits"
+                );
+                assert!(rc.maintenance_interval_ns() >= 1, "{ns} ns / {bits} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn maintenance_interval_respects_the_rounded_tail() {
+        // Rounded tick: sweeps must come at least every 55 ns (expiry
+        // 1000 minus deadline 945) or a due line can expire unseen.
+        let rounded = RetentionTracker::new(RetentionTime::from_nanos(1_000.0), 4);
+        assert_eq!(rounded.maintenance_interval_ns(), 55);
+        // Exact division: the window equals one tick and the cap binds.
+        let exact = RetentionTracker::new(RetentionTime::from_micros(16.0), 4);
+        assert_eq!(exact.maintenance_interval_ns(), 1_000);
+    }
+
+    #[test]
+    fn wide_counter_deadlines_saturate_instead_of_overflowing() {
+        // A century of retention on a 16-bit counter, with a line stamped
+        // near the end of representable time: the deadline math must
+        // saturate in order (slack ≤ plain ≤ expiry), not overflow.
+        let rc = RetentionTracker::new(RetentionTime::from_years(100.0), 16);
+        let written = u64::MAX - 10;
+        let refresh = rc.refresh_deadline_ns(written);
+        let relaxed = rc.refresh_deadline_with_slack_ns(written, 3);
+        assert_eq!(refresh, u64::MAX);
+        assert!(relaxed <= refresh);
+        assert!(refresh <= rc.expiry_deadline_ns(written));
+        assert!(rc.is_expired(0, u64::MAX) || rc.retention_ns() > 0);
     }
 
     #[test]

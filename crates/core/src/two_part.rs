@@ -12,7 +12,7 @@ use sttgpu_stats::Histogram;
 use sttgpu_trace::{BufferDir, PartId, Trace, TraceEvent};
 
 use crate::config::{SearchMode, TwoPartConfig};
-use crate::llc::{FillOutcome, LlcModel, LlcStats, ProbeOutcome};
+use crate::llc::{latency_to_ns, FillOutcome, LlcModel, LlcStats, ProbeOutcome};
 use crate::retention::RetentionTracker;
 use crate::search::{Part, SearchSelector};
 use crate::swap::SwapBuffer;
@@ -246,6 +246,9 @@ impl TwoPartLlc {
     /// Panics if the configuration is internally inconsistent (see
     /// [`TwoPartConfig`]).
     pub fn new(cfg: TwoPartConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
         let lr_geom =
             ArrayGeometry::new(cfg.lr_kb * 1024, cfg.line_bytes, cfg.lr_ways, cfg.lr_banks);
         let hr_geom =
@@ -295,16 +298,16 @@ impl TwoPartLlc {
             lr_deadlines: BinaryHeap::new(),
             hr_deadlines: BinaryHeap::new(),
             rotation_scratch: Vec::new(),
-            lr_tag_ns: lr_design.tag_latency_ns().ceil() as u64,
-            hr_tag_ns: hr_design.tag_latency_ns().ceil() as u64,
-            lr_read_ns: lr_design.read_latency_ns().ceil() as u64,
-            hr_read_ns: hr_design.read_latency_ns().ceil() as u64,
-            lr_write_ns: lr_design.write_latency_ns().ceil() as u64,
-            hr_write_ns: hr_design.write_latency_ns().ceil() as u64,
-            lr_read_occ_ns: lr_design.read_occupancy_ns().ceil() as u64,
-            hr_read_occ_ns: hr_design.read_occupancy_ns().ceil() as u64,
-            lr_write_occ_ns: lr_design.write_occupancy_ns().ceil() as u64,
-            hr_write_occ_ns: hr_design.write_occupancy_ns().ceil() as u64,
+            lr_tag_ns: latency_to_ns("LR tag", lr_design.tag_latency_ns()),
+            hr_tag_ns: latency_to_ns("HR tag", hr_design.tag_latency_ns()),
+            lr_read_ns: latency_to_ns("LR read", lr_design.read_latency_ns()),
+            hr_read_ns: latency_to_ns("HR read", hr_design.read_latency_ns()),
+            lr_write_ns: latency_to_ns("LR write", lr_design.write_latency_ns()),
+            hr_write_ns: latency_to_ns("HR write", hr_design.write_latency_ns()),
+            lr_read_occ_ns: latency_to_ns("LR read-occupancy", lr_design.read_occupancy_ns()),
+            hr_read_occ_ns: latency_to_ns("HR read-occupancy", hr_design.read_occupancy_ns()),
+            lr_write_occ_ns: latency_to_ns("LR write-occupancy", lr_design.write_occupancy_ns()),
+            hr_write_occ_ns: latency_to_ns("HR write-occupancy", hr_design.write_occupancy_ns()),
             lr_design,
             hr_design,
             cfg,
@@ -485,6 +488,20 @@ impl TwoPartLlc {
         start + self.lr_write_ns
     }
 
+    /// Whether the next demand write to the HR-resident line `la` will
+    /// trigger a WWS migration — i.e. the count [`hr_write_hit`] will
+    /// observe after its lookup bumps the write counter reaches the
+    /// threshold. Compares against the raw threshold so the prediction
+    /// does not perturb the monitor's decision statistics.
+    ///
+    /// [`hr_write_hit`]: Self::hr_write_hit
+    fn migration_is_due(&self, la: u64) -> bool {
+        self.hr
+            .peek(la)
+            .map(|l| l.write_count().saturating_add(1))
+            .is_some_and(|next| next >= self.wws.threshold())
+    }
+
     /// Handles a write that hit in HR: either service it in place or
     /// migrate the block to LR per the WWS monitor.
     fn hr_write_hit(&mut self, la: u64, tag_done_ns: u64, now_ns: u64) -> (u64, u32) {
@@ -512,6 +529,15 @@ impl TwoPartLlc {
             if !self.fault_stall(BufferDir::HrToLr, la, now_ns)
                 && self.hr_to_lr.try_reserve(now_ns, write_done)
             {
+                let Some(victim) = self.hr.extract(la) else {
+                    // The line vanished between the tag probe and the
+                    // extract — defense in depth for fault paths that
+                    // invalidate lines mid-access (the probe-side ECC
+                    // check re-misses those before dispatching here).
+                    // Service the write in place; the reserved buffer
+                    // slot simply drains unused.
+                    return (self.hr_write_in_place(la, tag_done_ns, now_ns), 0);
+                };
                 self.trace.emit(|| TraceEvent::BufferAdmit {
                     dir: BufferDir::HrToLr,
                     la,
@@ -519,7 +545,6 @@ impl TwoPartLlc {
                 });
                 self.deposit(EnergyEvent::Buffer, BUFFER_ENERGY_NJ);
                 self.deposit(EnergyEvent::Migration, self.lr_design.write_energy_nj());
-                let victim = self.hr.extract(la).expect("hit line must extract");
                 self.trace.emit(|| TraceEvent::Evict {
                     part: PartId::Hr,
                     la,
@@ -788,9 +813,18 @@ impl LlcModel for TwoPartLlc {
                 self.deposit_tag(order[0]);
                 tag_done_ns += self.tag_ns(order[0]);
             }
-            if let (Some(part), false) = (hit_part, kind.is_write()) {
-                // ECC runs on read hits only: a demand write overwrites
-                // the payload and starts a fresh fault epoch anyway.
+            // ECC runs wherever the access physically reads the stored
+            // payload: every read hit, and an HR write hit the WWS
+            // monitor is about to migrate (the migration reads the line
+            // out of HR before merging the demand data into LR). A plain
+            // write hit overwrites the payload and starts a fresh fault
+            // epoch without reading.
+            let ecc_part = match (hit_part, kind.is_write()) {
+                (Some(part), false) => Some(part),
+                (Some(Part::Hr), true) if self.migration_is_due(la) => Some(Part::Hr),
+                _ => None,
+            };
+            if let Some(part) = ecc_part {
                 let written_at_ns = match part {
                     Part::Lr => self.lr.peek(la),
                     Part::Hr => self.hr.peek(la),
@@ -884,7 +918,7 @@ impl LlcModel for TwoPartLlc {
                 let (ready, writebacks) = self.hr_write_hit(la, tag_done_ns, now_ns);
                 ProbeOutcome {
                     hit: true,
-                    ready_ns: ready,
+                    ready_ns: ready + ecc_extra_ns,
                     writebacks,
                 }
             }
@@ -943,10 +977,14 @@ impl LlcModel for TwoPartLlc {
             self.deposit(EnergyEvent::DataWrite, self.hr_design.write_energy_nj());
             // Fills drain through fill buffers into idle bank slots.
             ready_ns = now_ns + self.hr_write_ns;
+            // No carried history on a fresh fill: `fill_with` already
+            // counts the filling write via the dirty flag, so seeding the
+            // counter with `dirty as u32` double-counted it and made
+            // threshold-2..3 blocks migrate one demand write early.
             if let Some(victim) = self.hr.fill_with(
                 la,
                 dirty,
-                dirty as u32,
+                0,
                 RetMeta {
                     written_at_ns: now_ns,
                 },
@@ -1155,7 +1193,14 @@ impl LlcModel for TwoPartLlc {
     }
 
     fn maintenance_interval_ns(&self) -> u64 {
-        let base = self.lr_rc.tick_ns().min(self.hr_rc.tick_ns());
+        // Each tracker bounds its own sweep cadence: one tick, or the
+        // (possibly narrower, with a rounded-up tick) window between the
+        // last-tick deadline and expiry — visiting any slower could let a
+        // due line expire before the refresh engine sees it.
+        let base = self
+            .lr_rc
+            .maintenance_interval_ns()
+            .min(self.hr_rc.maintenance_interval_ns());
         match self.cfg.lr_rotation_period_ns {
             Some(p) => base.min(p),
             None => base,

@@ -1,0 +1,94 @@
+//! Regression tests for SECDED on the migration read path.
+//!
+//! An HR write hit that the WWS monitor migrates physically *reads* the
+//! payload out of HR before merging the demand data into LR, so the ECC
+//! check must run on that read. Before this was modeled, `hr_write_hit`
+//! extracted the line with `.expect("hit line must extract")` — a panic
+//! waiting for any fault path that invalidates the line between the tag
+//! probe and the extract. Now an uncorrectable migration read drops the
+//! line and re-misses the access instead.
+//!
+//! The tests drive the deterministic corner of the keyed-draw fault
+//! model: at `flip_rate = 1.0` the per-epoch Poisson mass over a µs-old
+//! line is so large that the outcome is `Uncorrectable` for every seed,
+//! so no seed hunting is involved.
+
+use sttgpu_cache::AccessKind;
+use sttgpu_core::{FaultConfig, LlcModel, TwoPartConfig, TwoPartLlc};
+
+fn saturated_flips() -> FaultConfig {
+    FaultConfig {
+        seed: 1,
+        flip_rate: 1.0,
+        ..FaultConfig::disabled()
+    }
+}
+
+#[test]
+fn migration_read_uncorrectable_re_misses_the_write() {
+    // Threshold 1: the first write to an HR-resident line migrates, so
+    // the write probe runs ECC on the migration read. The aged clean
+    // line is uncorrectable -> dropped -> the access becomes a miss.
+    let cfg = TwoPartConfig::new(8, 2, 56, 7, 256).with_fault(saturated_flips());
+    let addr = 3 * cfg.line_bytes as u64;
+    let mut llc = TwoPartLlc::new(cfg);
+    llc.fill(addr, false, 0); // clean fill -> HR
+    assert!(llc.hr_contains(addr));
+
+    let probe = llc.probe(addr, AccessKind::Write, 1_000_000);
+    assert!(!probe.hit, "uncorrectable migration read must re-miss");
+    assert!(!llc.hr_contains(addr) && !llc.lr_contains(addr));
+    assert_eq!(llc.stats().ecc_uncorrectable, 1);
+    assert_eq!(llc.stats().write_misses, 1);
+    assert_eq!(llc.stats().hr_write_hits, 0, "the hit was never serviced");
+    assert_eq!(llc.stats().migrations_to_lr, 0);
+    assert_eq!(
+        llc.stats().data_loss_events,
+        0,
+        "a clean line loses nothing"
+    );
+
+    // The access completes through the regular miss path.
+    llc.fill(addr, true, 1_000_100);
+    assert!(llc.lr_contains(addr), "dirty refill lands in LR");
+}
+
+#[test]
+fn migration_read_uncorrectable_on_dirty_line_is_data_loss() {
+    // Threshold 2: a dirty fill seeds one write, and the second demand
+    // write is the migration trigger. The dirty payload is gone when the
+    // migration read fails.
+    let cfg = TwoPartConfig::new(8, 2, 56, 7, 256)
+        .with_write_threshold(2)
+        .with_fault(saturated_flips());
+    let addr = 5 * cfg.line_bytes as u64;
+    let mut llc = TwoPartLlc::new(cfg);
+    llc.fill(addr, true, 0); // dirty fill -> HR at threshold 2
+    assert!(llc.hr_contains(addr));
+
+    let probe = llc.probe(addr, AccessKind::Write, 1_000_000);
+    assert!(!probe.hit);
+    assert_eq!(llc.stats().ecc_uncorrectable, 1);
+    assert_eq!(llc.stats().data_loss_events, 1);
+    assert_eq!(llc.stats().writebacks, 0, "nothing valid to write back");
+}
+
+#[test]
+fn below_threshold_writes_skip_the_migration_read_ecc() {
+    // Threshold 3: the first demand write after a dirty fill reaches
+    // write count 2 < 3, stays in place and never reads the payload —
+    // even a saturated flip plan must not touch it.
+    let cfg = TwoPartConfig::new(8, 2, 56, 7, 256)
+        .with_write_threshold(3)
+        .with_fault(saturated_flips());
+    let addr = 7 * cfg.line_bytes as u64;
+    let mut llc = TwoPartLlc::new(cfg);
+    llc.fill(addr, true, 0);
+    assert!(llc.hr_contains(addr));
+
+    let probe = llc.probe(addr, AccessKind::Write, 1_000_000);
+    assert!(probe.hit, "in-place write needs no payload read");
+    assert!(llc.hr_contains(addr));
+    assert_eq!(llc.stats().ecc_uncorrectable, 0);
+    assert_eq!(llc.stats().hr_write_hits, 1);
+}

@@ -10,6 +10,7 @@
 //! repro all --check       # attach the runtime invariant checker
 //! repro --faults 2e-4 --fault-seed 7 all  # deterministic fault injection
 //! repro --out results --resume all        # continue an interrupted sweep
+//! repro --fuzz 10000 --fuzz-seed 7        # differential fuzz vs the oracle
 //! ```
 //!
 //! All artefacts share one [`Executor`], so a simulation needed by several
@@ -29,6 +30,15 @@
 //! runner's internal retries) is **quarantined**: the sweep continues,
 //! the failure lands in `<dir>/QUARANTINE.txt` (one `artefact<TAB>reason`
 //! line each), and the exit code is nonzero.
+//!
+//! # Differential fuzzing
+//!
+//! `--fuzz N` runs `N` seeded random traces through the two-part LLC
+//! and the reference model in `sttgpu-oracle`, rotating across the
+//! oracle's corner geometries, instead of producing artefacts.
+//! `--fuzz-seed` varies the campaign (default 7). Any divergence is
+//! minimized, printed as ready-to-check-in `Op` literals, and fails
+//! the run with a nonzero exit code.
 
 use std::env;
 use std::fs;
@@ -60,10 +70,54 @@ const ARTEFACTS: [&str; 10] = [
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--quick] [--scale F] [--jobs N] [--out DIR] [--check] \
-         [--faults RATE] [--fault-seed N] [--resume] <all|{}> ...",
+         [--faults RATE] [--fault-seed N] [--resume] <all|{}> ...\n\
+         \x20      repro --fuzz N [--fuzz-seed S]   # differential fuzz vs the oracle",
         ARTEFACTS.join("|")
     );
     ExitCode::FAILURE
+}
+
+/// Differential fuzz mode: `N` seeded traces through implementation and
+/// oracle, round-robin over the corner geometries. Divergences are
+/// minimized and printed; any divergence fails the run.
+fn run_fuzz(cases: u64, seed: u64) -> ExitCode {
+    let corners = sttgpu_oracle::corner_geometries();
+    eprintln!(
+        "# repro --fuzz: {cases} cases over {} corner geometries, base seed {seed}",
+        corners.len()
+    );
+    let started = Instant::now();
+    let report = sttgpu_oracle::fuzz(cases, seed);
+    for corner in &corners {
+        let failed = report
+            .failures
+            .iter()
+            .filter(|f| f.corner == corner.name)
+            .count();
+        eprintln!("#   {:<18} {failed} divergence(s)", corner.name);
+    }
+    for f in &report.failures {
+        println!(
+            "divergence [{} seed {:#x}]: {}",
+            f.corner, f.seed, f.divergence
+        );
+        println!(
+            "minimized trace ({} ops):\n{}",
+            f.minimized.len(),
+            sttgpu_oracle::format_trace(&f.minimized)
+        );
+    }
+    eprintln!(
+        "# repro --fuzz: {} cases, {} divergence(s) in {:.1}s",
+        report.cases,
+        report.failures.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if report.failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 /// One journal line identifying a completed artefact under a plan. Bit
@@ -192,6 +246,8 @@ fn main() -> ExitCode {
     let mut fault_rate = 0.0;
     let mut fault_seed = 0;
     let mut resume = false;
+    let mut fuzz_cases: Option<u64> = None;
+    let mut fuzz_seed = 7u64;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -237,12 +293,34 @@ fn main() -> ExitCode {
                 fault_seed = n;
             }
             "--resume" => resume = true,
+            "--fuzz" => {
+                let Some(n) = args.next().and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                if n == 0 {
+                    return usage();
+                }
+                fuzz_cases = Some(n);
+            }
+            "--fuzz-seed" => {
+                let Some(n) = args.next().and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                fuzz_seed = n;
+            }
             "-h" | "--help" => {
                 usage();
                 return ExitCode::SUCCESS;
             }
             other => targets.push(other.to_owned()),
         }
+    }
+    if let Some(cases) = fuzz_cases {
+        if !targets.is_empty() {
+            eprintln!("--fuzz does not take artefact targets");
+            return usage();
+        }
+        return run_fuzz(cases, fuzz_seed);
     }
     if targets.is_empty() {
         return usage();

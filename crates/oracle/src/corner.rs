@@ -1,0 +1,140 @@
+//! Corner geometries the fuzzer rotates through.
+//!
+//! Each corner pairs a configuration that stresses a different slice of
+//! the architecture with a trace shape tuned to reach it: tiny parts so
+//! conflict evictions and demotions actually happen, thresholds above
+//! one so write-count carrying matters, single-slot buffers so overflow
+//! paths fire, retention targets whose tick rounds so the refresh
+//! engine runs off the remainder window, and a zero-rate fault plan
+//! that must be exactly transparent.
+
+use sttgpu_core::{FaultConfig, SearchMode, TwoPartConfig};
+use sttgpu_device::mtj::RetentionTime;
+
+use crate::trace_gen::TraceSpec;
+
+/// One fuzzing corner: a named configuration plus its trace shape.
+#[derive(Debug, Clone)]
+pub struct Corner {
+    /// Short stable name (appears in fuzz reports and test output).
+    pub name: &'static str,
+    /// The configuration under test.
+    pub cfg: TwoPartConfig,
+    /// Trace shape driven against it.
+    pub spec: TraceSpec,
+}
+
+fn spec(ops: usize, lines: u64, write_fraction: f64, max_dt_ns: u64) -> TraceSpec {
+    TraceSpec {
+        ops,
+        lines,
+        hot_lines: (lines / 8).max(1),
+        hot_fraction: 0.5,
+        write_fraction,
+        max_dt_ns,
+    }
+}
+
+/// A small 8 KB LR / 56 KB HR instance of the paper's shape — big
+/// enough for real set behaviour, small enough that a few hundred ops
+/// churn every set.
+fn paper_shape() -> TwoPartConfig {
+    TwoPartConfig::new(8, 2, 56, 7, 256)
+}
+
+/// The corner set the differential suite and `repro --fuzz` rotate
+/// through.
+pub fn corner_geometries() -> Vec<Corner> {
+    vec![
+        Corner {
+            name: "paper-shape",
+            cfg: paper_shape(),
+            spec: spec(300, 150, 0.6, 400),
+        },
+        Corner {
+            // 1-way LR: every LR set conflict is an immediate demotion.
+            name: "one-way-lr",
+            cfg: TwoPartConfig::new(4, 1, 56, 7, 256),
+            spec: spec(300, 150, 0.6, 400),
+        },
+        Corner {
+            // Both parts direct-mapped: maximal conflict pressure.
+            name: "direct-mapped",
+            cfg: TwoPartConfig::new(4, 1, 32, 1, 256),
+            spec: spec(300, 200, 0.5, 400),
+        },
+        Corner {
+            // Fully associative LR (one set, 32 ways): pure LRU churn.
+            name: "fully-assoc-lr",
+            cfg: TwoPartConfig::new(8, 32, 56, 7, 256),
+            spec: spec(300, 150, 0.6, 400),
+        },
+        Corner {
+            name: "parallel-search",
+            cfg: paper_shape().with_search(SearchMode::Parallel),
+            spec: spec(300, 150, 0.5, 400),
+        },
+        Corner {
+            // Threshold 3 exercises write-count carrying across fills
+            // and migrations; a single-slot buffer makes every overflow
+            // fallback path reachable.
+            name: "th3-tight-buffers",
+            cfg: paper_shape().with_write_threshold(3).with_buffer_blocks(1),
+            spec: spec(300, 120, 0.75, 400),
+        },
+        Corner {
+            // Maximum refresh slack: the engine refreshes 14 ticks
+            // early, so nearly every sweep finds due lines.
+            name: "tail-slack-max",
+            cfg: paper_shape().with_refresh_slack_ticks(14),
+            spec: spec(250, 120, 0.6, 400),
+        },
+        Corner {
+            // 1000 ns LR retention with a 4-bit counter: the tick
+            // rounds up (63 ns) and the maintenance cadence narrows to
+            // the 55 ns remainder window; 20 µs HR retention expires
+            // HR lines inside the trace. The heaviest retention churn.
+            name: "odd-retention",
+            cfg: paper_shape()
+                .with_lr_retention(RetentionTime::from_nanos(1000.0))
+                .with_hr_retention(RetentionTime::from_micros(20.0)),
+            spec: spec(250, 120, 0.6, 200),
+        },
+        Corner {
+            // A fault plan with a seed but all-zero rates must be
+            // exactly transparent.
+            name: "zero-rate-fault",
+            cfg: paper_shape().with_fault(FaultConfig {
+                seed: 0xBEEF,
+                ..FaultConfig::disabled()
+            }),
+            spec: spec(300, 150, 0.6, 400),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_set_is_large_and_uniquely_named() {
+        let corners = corner_geometries();
+        assert!(
+            corners.len() >= 6,
+            "acceptance floor: six corner geometries"
+        );
+        let mut names: Vec<_> = corners.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corners.len(), "duplicate corner names");
+    }
+
+    #[test]
+    fn every_corner_validates_and_builds_an_oracle() {
+        for corner in corner_geometries() {
+            assert!(corner.cfg.validate().is_ok(), "{} invalid", corner.name);
+            let _ = crate::OracleLlc::new(&corner.cfg);
+        }
+    }
+}

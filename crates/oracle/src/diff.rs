@@ -1,0 +1,263 @@
+//! The differential driver: run a trace through the implementation and
+//! the reference model in lockstep and report the first divergence.
+
+use std::fmt;
+
+use sttgpu_cache::AccessKind;
+use sttgpu_core::{LlcModel, TwoPartConfig, TwoPartLlc, TwoPartStats};
+
+use crate::corner::corner_geometries;
+use crate::model::OracleLlc;
+use crate::shrink::shrink;
+use crate::trace_gen::{generate, Op};
+
+/// The first observable disagreement between model and implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the op after which the disagreement surfaced (`None`
+    /// for pre-trace checks such as the maintenance cadence).
+    pub op_index: Option<usize>,
+    /// Which observation differed (`hit`, `writebacks`, a residency
+    /// bit, a `stats.*` counter or a `buffer.*` counter).
+    pub field: &'static str,
+    /// The reference model's value (booleans as 0/1).
+    pub model: u64,
+    /// The implementation's value.
+    pub dut: u64,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op_index {
+            Some(i) => write!(
+                f,
+                "after op #{i}: {} diverged (model {}, implementation {})",
+                self.field, self.model, self.dut
+            ),
+            None => write!(
+                f,
+                "before the trace: {} diverged (model {}, implementation {})",
+                self.field, self.model, self.dut
+            ),
+        }
+    }
+}
+
+/// Every counter of [`TwoPartStats`], named, for first-mismatch
+/// reporting.
+fn stats_fields(s: &TwoPartStats) -> [(&'static str, u64); 27] {
+    [
+        ("stats.lr_read_hits", s.lr_read_hits),
+        ("stats.hr_read_hits", s.hr_read_hits),
+        ("stats.lr_write_hits", s.lr_write_hits),
+        ("stats.hr_write_hits", s.hr_write_hits),
+        ("stats.read_misses", s.read_misses),
+        ("stats.write_misses", s.write_misses),
+        ("stats.demand_writes_lr", s.demand_writes_lr),
+        ("stats.demand_writes_hr", s.demand_writes_hr),
+        ("stats.lr_array_writes", s.lr_array_writes),
+        ("stats.hr_array_writes", s.hr_array_writes),
+        ("stats.migrations_to_lr", s.migrations_to_lr),
+        ("stats.demotions_to_hr", s.demotions_to_hr),
+        ("stats.refreshes", s.refreshes),
+        ("stats.lr_expirations", s.lr_expirations),
+        ("stats.hr_expirations", s.hr_expirations),
+        ("stats.writebacks", s.writebacks),
+        ("stats.overflow_writebacks", s.overflow_writebacks),
+        ("stats.second_search_hits", s.second_search_hits),
+        ("stats.fills_to_lr", s.fills_to_lr),
+        ("stats.fills_to_hr", s.fills_to_hr),
+        ("stats.lr_rotations", s.lr_rotations),
+        ("stats.ecc_corrections", s.ecc_corrections),
+        ("stats.ecc_uncorrectable", s.ecc_uncorrectable),
+        ("stats.data_loss_events", s.data_loss_events),
+        ("stats.refresh_drops", s.refresh_drops),
+        ("stats.buffer_stalls", s.buffer_stalls),
+        ("stats.bank_faults", s.bank_faults),
+    ]
+}
+
+/// Compares every post-op observation; returns the first mismatch.
+fn compare_state(
+    op_index: usize,
+    la: u64,
+    byte_addr: u64,
+    dut: &TwoPartLlc,
+    model: &OracleLlc,
+) -> Option<Divergence> {
+    let diverge = |field, model: u64, dut: u64| {
+        (model != dut).then_some(Divergence {
+            op_index: Some(op_index),
+            field,
+            model,
+            dut,
+        })
+    };
+    let dut_lr = dut.lr_contains(byte_addr);
+    let dut_hr = dut.hr_contains(byte_addr);
+    if dut_lr && dut_hr {
+        // Not model-vs-implementation, but the exclusivity invariant is
+        // free to check here and a residency bug often trips it first.
+        return Some(Divergence {
+            op_index: Some(op_index),
+            field: "exclusive-residency",
+            model: 0,
+            dut: 2,
+        });
+    }
+    diverge("lr_resident", model.lr_resident(la) as u64, dut_lr as u64)
+        .or_else(|| diverge("hr_resident", model.hr_resident(la) as u64, dut_hr as u64))
+        .or_else(|| {
+            if dut.stats() == model.stats() {
+                return None;
+            }
+            for ((field, m), (_, d)) in stats_fields(model.stats())
+                .into_iter()
+                .zip(stats_fields(dut.stats()))
+            {
+                if m != d {
+                    return Some(Divergence {
+                        op_index: Some(op_index),
+                        field,
+                        model: m,
+                        dut: d,
+                    });
+                }
+            }
+            unreachable!("unequal stats with equal fields");
+        })
+        .or_else(|| {
+            diverge(
+                "buffer.overflows",
+                model.buffer_overflows(),
+                dut.buffer_overflows(),
+            )
+        })
+        .or_else(|| {
+            let (m_hl, m_lh) = model.buffer_peaks();
+            let (d_hl, d_lh) = dut.buffer_peaks();
+            diverge("buffer.hr_to_lr_peak", m_hl as u64, d_hl as u64)
+                .or_else(|| diverge("buffer.lr_to_hr_peak", m_lh as u64, d_lh as u64))
+        })
+}
+
+/// Replays `ops` against a fresh implementation and a fresh model in
+/// lockstep — fill-on-miss, maintenance swept at the cadence both
+/// machines agree on — and returns the first divergence, or `None`
+/// when the machines stay observationally identical end to end.
+pub fn run_case(cfg: &TwoPartConfig, ops: &[Op]) -> Option<Divergence> {
+    let mut dut = TwoPartLlc::new(cfg.clone());
+    let mut model = OracleLlc::new(cfg);
+
+    let cadence = dut.maintenance_interval_ns();
+    if cadence != model.maintenance_interval_ns() {
+        return Some(Divergence {
+            op_index: None,
+            field: "maintenance_interval_ns",
+            model: model.maintenance_interval_ns(),
+            dut: cadence,
+        });
+    }
+
+    let line_bytes = cfg.line_bytes as u64;
+    let mut now = 1u64;
+    let mut last_maintain = now;
+    for (i, op) in ops.iter().enumerate() {
+        now += op.dt_ns.max(1);
+        while now - last_maintain >= cadence {
+            last_maintain += cadence;
+            dut.maintain(last_maintain);
+            model.maintain(last_maintain);
+        }
+        let byte_addr = op.line * line_bytes;
+        let kind = if op.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+
+        let dut_probe = dut.probe(byte_addr, kind, now);
+        let (model_hit, model_probe_wb) = model.probe(op.line, op.write, now);
+        if dut_probe.hit != model_hit {
+            return Some(Divergence {
+                op_index: Some(i),
+                field: "hit",
+                model: model_hit as u64,
+                dut: dut_probe.hit as u64,
+            });
+        }
+
+        let mut dut_wb = dut_probe.writebacks;
+        let mut model_wb = model_probe_wb;
+        if !dut_probe.hit {
+            dut_wb += dut.fill(byte_addr, op.write, now).writebacks;
+        }
+        if !model_hit {
+            model_wb += model.fill(op.line, op.write, now);
+        }
+        if dut_wb != model_wb {
+            return Some(Divergence {
+                op_index: Some(i),
+                field: "writebacks",
+                model: model_wb as u64,
+                dut: dut_wb as u64,
+            });
+        }
+
+        if let Some(d) = compare_state(i, op.line, byte_addr, &dut, &model) {
+            return Some(d);
+        }
+    }
+    None
+}
+
+/// One diverging fuzz case, minimized and ready to report.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Corner the case ran on.
+    pub corner: &'static str,
+    /// Seed that generated the diverging trace.
+    pub seed: u64,
+    /// The divergence observed on the *original* trace.
+    pub divergence: Divergence,
+    /// The greedily minimized trace (still diverging).
+    pub minimized: Vec<Op>,
+}
+
+/// Outcome of a fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Corner geometries rotated through.
+    pub corners: usize,
+    /// Every diverging case, minimized.
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// Runs `cases` seeded differential cases, round-robin across
+/// [`corner_geometries`], deriving per-case seeds from `base_seed`.
+/// Every divergence is minimized before it is reported.
+pub fn fuzz(cases: u64, base_seed: u64) -> FuzzReport {
+    let corners = corner_geometries();
+    let mut failures = Vec::new();
+    for i in 0..cases {
+        let corner = &corners[(i % corners.len() as u64) as usize];
+        let seed = base_seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let ops = generate(seed, &corner.spec);
+        if let Some(divergence) = run_case(&corner.cfg, &ops) {
+            let minimized = shrink(&corner.cfg, &ops);
+            failures.push(FuzzFailure {
+                corner: corner.name,
+                seed,
+                divergence,
+                minimized,
+            });
+        }
+    }
+    FuzzReport {
+        cases,
+        corners: corners.len(),
+        failures,
+    }
+}

@@ -1,0 +1,50 @@
+//! Model-based differential fuzzing oracle for the two-part LLC.
+//!
+//! [`TwoPartLlc`](sttgpu_core::TwoPartLlc) is performance-engineered:
+//! lazy-deletion deadline heaps instead of array scans, cached integer
+//! latencies, bank arbiters, trace and energy plumbing threaded through
+//! every path. Each of those optimisations is a place where the
+//! implementation can silently drift from the architecture it claims to
+//! model. This crate pins it down from the outside:
+//!
+//! * [`OracleLlc`] is a small, deliberately *unoptimised* functional
+//!   model of the same semantics — per-line residency, dirtiness, write
+//!   counts, content tokens, retention clocks and swap-buffer occupancy
+//!   held in plain scanned vectors and sorted multisets, with no heaps,
+//!   no lazy deletion and no caching. Where the implementation earns
+//!   speed, the oracle spends clarity.
+//! * [`generate`] turns a seed and a [`TraceSpec`] into a request
+//!   stream (hot/cold address mix, read/write ratio, bounded
+//!   inter-arrival gaps) whose every subsequence is still well formed,
+//!   which is what makes traces shrinkable.
+//! * [`run_case`] drives both machines through the same
+//!   probe/fill/maintain discipline the repo's replay harnesses use and
+//!   reports the first observable [`Divergence`]: per-op hit/miss,
+//!   write-backs, residency, the full statistics block and the
+//!   swap-buffer counters.
+//! * [`shrink`] greedily delta-debugs a diverging trace down to a
+//!   handful of operations fit for checking in as a regression test.
+//! * [`fuzz`] round-robins seeded cases across [`corner_geometries`] —
+//!   paper-shape, direct-mapped, fully-associative, parallel-search,
+//!   tight-buffer, slack, rounded-tick and zero-rate-fault corners.
+//!
+//! The oracle deliberately models the *functional* architecture only:
+//! completion times (`ready_ns`) depend on the bank arbiter, which is a
+//! performance model rather than a correctness property, so they are
+//! not compared. Fault injection is compared only at rate zero, where
+//! an enabled-but-silent plan must be exactly transparent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corner;
+mod diff;
+mod model;
+mod shrink;
+mod trace_gen;
+
+pub use corner::{corner_geometries, Corner};
+pub use diff::{fuzz, run_case, Divergence, FuzzFailure, FuzzReport};
+pub use model::OracleLlc;
+pub use shrink::shrink;
+pub use trace_gen::{format_trace, generate, Op, TraceSpec};

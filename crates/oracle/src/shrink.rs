@@ -1,0 +1,71 @@
+//! Greedy trace minimization (delta debugging).
+//!
+//! Because traces use relative timestamps, deleting any subsequence of
+//! ops yields another well-formed trace, so minimization is plain
+//! greedy chunk removal: drop halving-sized chunks while the trace
+//! still diverges, then squeeze the surviving inter-arrival gaps to
+//! 1 ns where the divergence allows it. The result is what a human
+//! debugs — and what gets checked in as a regression test.
+
+use sttgpu_core::TwoPartConfig;
+
+use crate::diff::run_case;
+use crate::trace_gen::Op;
+
+/// Minimizes a diverging trace. Returns the input unchanged when it
+/// does not diverge (there is nothing to preserve while shrinking).
+pub fn shrink(cfg: &TwoPartConfig, ops: &[Op]) -> Vec<Op> {
+    let mut cur: Vec<Op> = ops.to_vec();
+    if run_case(cfg, &cur).is_none() {
+        return cur;
+    }
+
+    // Chunk removal, halving the chunk size down to single ops.
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.len() {
+            let end = (i + chunk).min(cur.len());
+            let mut candidate = Vec::with_capacity(cur.len() - (end - i));
+            candidate.extend_from_slice(&cur[..i]);
+            candidate.extend_from_slice(&cur[end..]);
+            if !candidate.is_empty() && run_case(cfg, &candidate).is_some() {
+                cur = candidate;
+                // Keep `i`: the next chunk has slid into this position.
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+
+    // Gap squeezing: shrink each dt to the 1 ns floor where possible.
+    for i in 0..cur.len() {
+        if cur[i].dt_ns == 1 {
+            continue;
+        }
+        let mut candidate = cur.clone();
+        candidate[i].dt_ns = 1;
+        if run_case(cfg, &candidate).is_some() {
+            cur = candidate;
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner_geometries;
+    use crate::trace_gen::generate;
+
+    #[test]
+    fn non_diverging_traces_come_back_unchanged() {
+        let corner = &corner_geometries()[0];
+        let ops = generate(1, &corner.spec);
+        assert_eq!(shrink(&corner.cfg, &ops), ops);
+    }
+}

@@ -1,0 +1,44 @@
+//! Bounded differential sweep: every corner geometry, several seeds.
+//!
+//! This is the tier-1 face of the fuzzing oracle — small enough to run
+//! in every `cargo test`, broad enough that a semantic drift between
+//! `TwoPartLlc` and the reference model shows up here first. On
+//! failure the diverging trace is minimized and printed as checkable
+//! `Op` literals.
+
+use sttgpu_oracle::{corner_geometries, format_trace, fuzz, generate, run_case, shrink};
+
+#[test]
+fn oracle_matches_the_implementation_across_corner_geometries() {
+    for (c, corner) in corner_geometries().iter().enumerate() {
+        for s in 0..4u64 {
+            let seed = 0xD1FF_0000 + (c as u64) * 16 + s;
+            let ops = generate(seed, &corner.spec);
+            if let Some(divergence) = run_case(&corner.cfg, &ops) {
+                let minimized = shrink(&corner.cfg, &ops);
+                panic!(
+                    "[{} seed {seed:#x}] {divergence}\nminimized trace ({} ops):\n{}",
+                    corner.name,
+                    minimized.len(),
+                    format_trace(&minimized)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fuzz_campaign_smoke_run_is_clean() {
+    let report = fuzz(27, 0xF422_5EED);
+    assert_eq!(report.cases, 27);
+    assert!(report.corners >= 6);
+    if let Some(f) = report.failures.first() {
+        panic!(
+            "[{} seed {:#x}] {}\nminimized trace:\n{}",
+            f.corner,
+            f.seed,
+            f.divergence,
+            format_trace(&f.minimized)
+        );
+    }
+}
