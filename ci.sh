@@ -4,8 +4,10 @@
 #   ./ci.sh            # build + tests + lints
 #   ./ci.sh --smoke    # also run a reduced-scale repro to exercise the
 #                      # parallel executor end to end, a --check run with
-#                      # the runtime invariant checker attached, and a
-#                      # budgeted differential fuzz pass vs the oracle
+#                      # the runtime invariant checker attached, a perf
+#                      # canary against the checked-in throughput
+#                      # baseline, and a budgeted differential fuzz pass
+#                      # vs the oracle
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,8 +33,11 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "==> repro seeded fault-injection run (scale 0.05, --faults 2e-4, --check)"
     ./target/release/repro --scale 0.05 --faults 2e-4 --fault-seed 7 fig8 faults --check > /dev/null
 
-    echo "==> repro differential fuzz vs the oracle (2000 cases, seed 7)"
-    ./target/release/repro --fuzz 2000 --fuzz-seed 7 > /dev/null
+    echo "==> repro perf canary (fixed workload vs results/BENCH_repro.json baseline)"
+    ./target/release/repro --canary > /dev/null
+
+    echo "==> repro differential fuzz vs the oracle (10000 cases, seed 7)"
+    ./target/release/repro --fuzz 10000 --fuzz-seed 7 > /dev/null
 fi
 
 echo "CI OK"

@@ -19,6 +19,11 @@ impl AccessKind {
 }
 
 /// One cache line's bookkeeping state plus caller-defined metadata `M`.
+///
+/// The line address and replacement stamp live in parallel arrays on
+/// [`SetAssocCache`] (not here): way lookups and victim scans read one
+/// contiguous `u64` row per set instead of striding across these fatter
+/// records.
 #[derive(Debug, Clone)]
 pub struct Line<M> {
     line_addr: u64,
@@ -26,7 +31,6 @@ pub struct Line<M> {
     dirty: bool,
     write_count: u32,
     last_write_ns: u64,
-    stamp: u64,
     /// Caller-defined metadata (e.g. retention counters in the two-part
     /// LLC). Reset to `M::default()` on fill.
     pub meta: M,
@@ -116,12 +120,22 @@ pub struct SetAssocCache<M> {
     line_bytes: u32,
     policy: ReplacementPolicy,
     lines: Vec<Line<M>>,
+    /// Per-slot line address, [`INVALID_TAG`] when the slot is empty.
+    /// Mirrors `lines[slot].{line_addr, valid}` so the per-access way scan
+    /// touches one cache-friendly `u64` row per set.
+    tags: Vec<u64>,
+    /// Per-slot replacement stamp (monotone; LRU/FIFO victim = min).
+    stamps: Vec<u64>,
     position_writes: Vec<u64>,
     set_salt: u64,
     stamp: u64,
     rng_state: u64,
     stats: CacheStats,
 }
+
+/// Tag sentinel for an empty slot. Line addresses are byte addresses
+/// divided by the line size, so no valid line can reach it.
+const INVALID_TAG: u64 = u64::MAX;
 
 impl<M: Default> SetAssocCache<M> {
     /// Creates an empty cache of `sets` × `ways` lines of `line_bytes`.
@@ -147,7 +161,6 @@ impl<M: Default> SetAssocCache<M> {
                 dirty: false,
                 write_count: 0,
                 last_write_ns: 0,
-                stamp: 0,
                 meta: M::default(),
             });
         }
@@ -157,6 +170,8 @@ impl<M: Default> SetAssocCache<M> {
             line_bytes,
             policy,
             lines,
+            tags: vec![INVALID_TAG; sets * ways],
+            stamps: vec![0; sets * ways],
             position_writes: vec![0; sets * ways],
             set_salt: 0,
             stamp: 0,
@@ -223,10 +238,8 @@ impl<M: Default> SetAssocCache<M> {
 
     fn find_way(&self, line_addr: u64) -> Option<usize> {
         let set = self.set_index(line_addr);
-        (0..self.ways).find(|&w| {
-            let l = &self.lines[self.slot(set, w)];
-            l.valid && l.line_addr == line_addr
-        })
+        let row = &self.tags[set * self.ways..(set + 1) * self.ways];
+        row.iter().position(|&t| t == line_addr)
     }
 
     fn next_stamp(&mut self) -> u64 {
@@ -266,10 +279,10 @@ impl<M: Default> SetAssocCache<M> {
                 } else {
                     self.stats.read_hits.inc();
                 }
-                let line = &mut self.lines[slot];
                 if let Some(s) = stamp {
-                    line.stamp = s;
+                    self.stamps[slot] = s;
                 }
+                let line = &mut self.lines[slot];
                 if kind.is_write() {
                     line.note_write(now_ns);
                 }
@@ -309,13 +322,20 @@ impl<M: Default> SetAssocCache<M> {
 
     fn victim_way(&mut self, set: usize) -> usize {
         // Invalid lines are free slots.
-        if let Some(w) = (0..self.ways).find(|&w| !self.lines[self.slot(set, w)].valid) {
+        let row = &self.tags[set * self.ways..(set + 1) * self.ways];
+        if let Some(w) = row.iter().position(|&t| t == INVALID_TAG) {
             return w;
         }
         match self.policy {
-            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => (0..self.ways)
-                .min_by_key(|&w| self.lines[self.slot(set, w)].stamp)
-                .expect("ways > 0"),
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
+                let stamps = &self.stamps[set * self.ways..(set + 1) * self.ways];
+                stamps
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, s)| s)
+                    .map(|(w, _)| w)
+                    .expect("ways > 0")
+            }
             ReplacementPolicy::Random => (self.xorshift() % self.ways as u64) as usize,
         }
     }
@@ -375,8 +395,9 @@ impl<M: Default> SetAssocCache<M> {
         line.dirty = dirty;
         line.write_count = write_count.saturating_add(dirty as u32);
         line.last_write_ns = if dirty { now_ns } else { 0 };
-        line.stamp = stamp;
         line.meta = meta;
+        self.tags[slot] = line_addr;
+        self.stamps[slot] = stamp;
         evicted
     }
 
@@ -386,6 +407,7 @@ impl<M: Default> SetAssocCache<M> {
         let way = self.find_way(line_addr)?;
         let slot = self.slot(self.set_index(line_addr), way);
         self.stats.invalidations.inc();
+        self.tags[slot] = INVALID_TAG;
         let line = &mut self.lines[slot];
         line.valid = false;
         Some(Evicted {
@@ -411,6 +433,7 @@ impl<M: Default> SetAssocCache<M> {
             let line = &mut self.lines[slot];
             if line.valid {
                 line.valid = false;
+                self.tags[slot] = INVALID_TAG;
                 self.stats.invalidations.inc();
                 if line.dirty {
                     dirty.push(Evicted {

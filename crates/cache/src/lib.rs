@@ -29,6 +29,7 @@
 
 mod arbiter;
 mod cache;
+mod linemap;
 mod mshr;
 mod replacement;
 mod stats;
@@ -36,6 +37,7 @@ pub mod write_policy;
 
 pub use arbiter::BankArbiter;
 pub use cache::{AccessKind, Evicted, Line, SetAssocCache};
+pub use linemap::{line_map_with_capacity, LineHasher, LineMap};
 pub use mshr::{MshrOutcome, MshrTable};
 pub use replacement::ReplacementPolicy;
 pub use stats::CacheStats;

@@ -5,9 +5,9 @@
 //! duplicate memory requests. The [`MshrTable`] tracks in-flight line
 //! fills and the opaque tokens (warp/request ids) waiting on them.
 
-use std::collections::HashMap;
-
 use sttgpu_trace::{Trace, TraceEvent};
+
+use crate::linemap::{line_map_with_capacity, LineMap};
 
 /// Result of trying to allocate an MSHR for a missing line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +38,7 @@ pub enum MshrOutcome {
 pub struct MshrTable {
     capacity: usize,
     targets_per_entry: usize,
-    entries: HashMap<u64, Vec<u64>>,
+    entries: LineMap<Vec<u64>>,
     trace: Trace,
     space: u32,
 }
@@ -55,7 +55,7 @@ impl MshrTable {
         MshrTable {
             capacity,
             targets_per_entry,
-            entries: HashMap::with_capacity(capacity),
+            entries: line_map_with_capacity(capacity),
             trace: Trace::off(),
             space: 0,
         }

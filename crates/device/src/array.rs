@@ -183,12 +183,28 @@ impl ArrayGeometry {
 pub struct ArrayDesign {
     geometry: ArrayGeometry,
     tech: MemTechnology,
+    // Per-access energies memoized at construction: they are pure
+    // functions of (geometry, tech), but the LLC charges them on every
+    // access, and the sqrt/exp chains behind them showed up in profiles.
+    read_energy_nj: f64,
+    write_energy_nj: f64,
+    tag_energy_nj: f64,
 }
 
 impl ArrayDesign {
     /// Creates a priced array from a geometry and a data-array technology.
     pub fn new(geometry: ArrayGeometry, tech: MemTechnology) -> Self {
-        ArrayDesign { geometry, tech }
+        let mut d = ArrayDesign {
+            geometry,
+            tech,
+            read_energy_nj: 0.0,
+            write_energy_nj: 0.0,
+            tag_energy_nj: 0.0,
+        };
+        d.read_energy_nj = d.wire_nj() + d.tech.cell_read_energy_nj();
+        d.write_energy_nj = d.wire_nj() + d.tech.cell_write_energy_nj();
+        d.tag_energy_nj = 0.01 + 0.005 * (d.geometry.tag_kb() / d.geometry.banks as f64).sqrt();
+        d
     }
 
     /// The array's geometry.
@@ -252,12 +268,12 @@ impl ArrayDesign {
 
     /// Data read energy per line access, nJ.
     pub fn read_energy_nj(&self) -> f64 {
-        self.wire_nj() + self.tech.cell_read_energy_nj()
+        self.read_energy_nj
     }
 
     /// Data write energy per line access, nJ.
     pub fn write_energy_nj(&self) -> f64 {
-        self.wire_nj() + self.tech.cell_write_energy_nj()
+        self.write_energy_nj
     }
 
     /// Tag lookup latency, ns (small SRAM array).
@@ -267,7 +283,7 @@ impl ArrayDesign {
 
     /// Tag lookup energy, nJ.
     pub fn tag_energy_nj(&self) -> f64 {
-        0.01 + 0.005 * (self.geometry.tag_kb() / self.geometry.banks as f64).sqrt()
+        self.tag_energy_nj
     }
 
     /// Total leakage power (data + SRAM tags), mW.

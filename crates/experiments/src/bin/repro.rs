@@ -71,10 +71,113 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--quick] [--scale F] [--jobs N] [--out DIR] [--check] \
          [--faults RATE] [--fault-seed N] [--resume] <all|{}> ...\n\
-         \x20      repro --fuzz N [--fuzz-seed S]   # differential fuzz vs the oracle",
+         \x20      repro --fuzz N [--fuzz-seed S]   # differential fuzz vs the oracle\n\
+         \x20      repro --canary [--out DIR]       # perf canary vs checked-in baseline",
         ARTEFACTS.join("|")
     );
     ExitCode::FAILURE
+}
+
+/// The canary's fixed workload scale — small enough to finish in seconds,
+/// large enough that throughput is not dominated by startup.
+const CANARY_SCALE: f64 = 0.25;
+
+/// Throughput below this fraction of the checked-in baseline fails CI.
+const CANARY_FLOOR: f64 = 0.7;
+
+/// Where the committed baseline lives (relative to the repo root, which
+/// is where `ci.sh` runs).
+const CANARY_BASELINE_PATH: &str = "results/BENCH_repro.json";
+
+/// Extracts `"key": <number>` from hand-rolled JSON, no parser needed.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let tail = &text[text.find(&format!("\"{key}\""))?..];
+    let tail = &tail[tail.find(':')? + 1..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == ' '))
+        .unwrap_or(tail.len());
+    tail[..end].trim().parse().ok()
+}
+
+/// Perf canary: times a fixed deterministic workload (the Fig. 8 suite at
+/// a reduced scale, single-threaded so the number is comparable across
+/// hosts with different core counts), writes the measured simulation
+/// throughput into `BENCH_repro.json`, and fails when it drops more than
+/// 30% below the checked-in baseline.
+fn run_canary(out_dir: Option<&Path>) -> ExitCode {
+    let exec = Executor::new(1);
+    let plan = RunPlan::full().with_scale(CANARY_SCALE);
+    eprintln!("# repro --canary: fig8 suite at scale {CANARY_SCALE}, 1 job");
+    let started = Instant::now();
+    let (rows, summary) = fig8::compute(&exec, &plan);
+    let secs = started.elapsed().as_secs_f64();
+    // Keep the artefact alive so the compute cannot be optimized away and
+    // a broken run is loud.
+    if rows.is_empty() || fig8::render(&rows, &summary).is_empty() {
+        eprintln!("# canary produced an empty fig8 artefact");
+        return ExitCode::FAILURE;
+    }
+    let stats = exec.stats();
+    let cps = stats.cycles_simulated as f64 / secs.max(1e-9);
+    let baseline = fs::read_to_string(CANARY_BASELINE_PATH)
+        .ok()
+        .and_then(|t| json_number(&t, "canary_baseline_cycles_per_second"));
+    let mut json = String::from("{\n  \"canary\": {\n");
+    json.push_str(&format!("    \"scale\": {CANARY_SCALE},\n"));
+    json.push_str(&format!("    \"wall_clock_s\": {secs:.3},\n"));
+    json.push_str(&format!(
+        "    \"cycles_simulated\": {},\n",
+        stats.cycles_simulated
+    ));
+    json.push_str(&format!("    \"cycles_per_second\": {cps:.0},\n"));
+    json.push_str(&format!(
+        "    \"baseline_cycles_per_second\": {}\n",
+        baseline.map_or_else(|| "null".into(), |b| format!("{b:.0}"))
+    ));
+    json.push_str("  }\n}\n");
+    let bench_path = out_dir
+        .map(|d| d.join("BENCH_repro.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_repro.json"));
+    if let Some(dir) = out_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = fs::write(&bench_path, json) {
+        eprintln!("cannot write {}: {e}", bench_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "# canary: {:.1}M cycles in {secs:.1}s = {:.2}M cycles/s (written to {})",
+        stats.cycles_simulated as f64 / 1e6,
+        cps / 1e6,
+        bench_path.display()
+    );
+    match baseline {
+        None => {
+            eprintln!("# canary: no baseline at {CANARY_BASELINE_PATH} — recording only");
+            ExitCode::SUCCESS
+        }
+        Some(b) if cps < b * CANARY_FLOOR => {
+            eprintln!(
+                "# CANARY FAILED: {:.2}M cycles/s is below {:.0}% of the \
+                 {:.2}M cycles/s baseline",
+                cps / 1e6,
+                CANARY_FLOOR * 100.0,
+                b / 1e6
+            );
+            ExitCode::FAILURE
+        }
+        Some(b) => {
+            eprintln!(
+                "# canary passed: {:.0}% of the {:.2}M cycles/s baseline",
+                cps / b * 100.0,
+                b / 1e6
+            );
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 /// Differential fuzz mode: `N` seeded traces through implementation and
@@ -248,6 +351,7 @@ fn main() -> ExitCode {
     let mut resume = false;
     let mut fuzz_cases: Option<u64> = None;
     let mut fuzz_seed = 7u64;
+    let mut canary = false;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -293,6 +397,7 @@ fn main() -> ExitCode {
                 fault_seed = n;
             }
             "--resume" => resume = true,
+            "--canary" => canary = true,
             "--fuzz" => {
                 let Some(n) = args.next().and_then(|s| s.parse::<u64>().ok()) else {
                     return usage();
@@ -314,6 +419,13 @@ fn main() -> ExitCode {
             }
             other => targets.push(other.to_owned()),
         }
+    }
+    if canary {
+        if !targets.is_empty() || fuzz_cases.is_some() {
+            eprintln!("--canary does not combine with artefact targets or --fuzz");
+            return usage();
+        }
+        return run_canary(out_dir.as_deref());
     }
     if let Some(cases) = fuzz_cases {
         if !targets.is_empty() {

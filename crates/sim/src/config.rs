@@ -215,6 +215,15 @@ impl GpuConfig {
         cycle * 1000 / self.clock_mhz
     }
 
+    /// The first cycle whose [`ns_of_cycle`](Self::ns_of_cycle) timestamp
+    /// reaches `ns` — the exact inverse the event-driven driver needs to
+    /// turn a memory-event deadline back into a wake-up cycle.
+    /// (`floor(c·1000/f) ≥ ns ⇔ c·1000 ≥ ns·f` for integer `ns`, so the
+    /// ceiling division is exact, not an approximation.)
+    pub fn cycle_of_ns_ceil(&self, ns: u64) -> u64 {
+        ns.saturating_mul(self.clock_mhz).div_ceil(1000)
+    }
+
     /// Peak thread-instructions per cycle (the IPC ceiling).
     pub fn peak_ipc(&self) -> f64 {
         (self.num_sms as u32 * self.issue_width * self.warp_size) as f64

@@ -37,6 +37,7 @@ pub struct Gpu {
     mem: MemSystem,
     trace: sttgpu_trace::Trace,
     cycle: u64,
+    single_step: bool,
 }
 
 impl Gpu {
@@ -50,7 +51,16 @@ impl Gpu {
             trace: sttgpu_trace::Trace::off(),
             cfg,
             cycle: 0,
+            single_step: false,
         }
+    }
+
+    /// Debug mode: forces the driver to advance one cycle at a time
+    /// instead of jumping over provably idle spans. Observable behaviour
+    /// (metrics, traces, artefacts) must not depend on this flag — the
+    /// `skip_equivalence` differential tests pin that contract.
+    pub fn set_single_step(&mut self, on: bool) {
+        self.single_step = on;
     }
 
     /// The configuration in use.
@@ -87,16 +97,32 @@ impl Gpu {
         m
     }
 
-    /// Runs a kernel sequence with the default seed.
+    /// Runs a kernel sequence with the default seed. Convenience wrapper
+    /// for by-value kernels; sweep code should build `Arc<KernelParams>`
+    /// once and use [`run_seeded`](Self::run_seeded) directly.
     pub fn run(&mut self, kernels: &[KernelParams], max_cycles: u64) -> RunMetrics {
-        self.run_seeded(kernels, DEFAULT_SEED, max_cycles)
+        let kernels: Vec<Arc<KernelParams>> = kernels.iter().cloned().map(Arc::new).collect();
+        self.run_seeded(&kernels, DEFAULT_SEED, max_cycles)
     }
 
     /// Runs a kernel sequence with an explicit seed. Kernels execute in
     /// order with a global barrier (and L1 invalidation) between them.
+    ///
+    /// The driver is event-driven: after processing a cycle it computes
+    /// the earliest cycle at which anything can change — a queued warp's
+    /// `ready_at`, the memory system's next event or maintenance
+    /// deadline, or a freshly freed block-launch slot — and jumps
+    /// straight there, crediting the skipped span to each busy SM's
+    /// `idle_cycles`. Because ticks that do work still happen at exactly
+    /// the cycles the per-cycle driver would have visited, with the same
+    /// machine state, every emitted time stamp and artefact byte is
+    /// identical to single-stepping (see [`set_single_step`] and the
+    /// `skip_equivalence` tests).
+    ///
+    /// [`set_single_step`]: Self::set_single_step
     pub fn run_seeded(
         &mut self,
-        kernels: &[KernelParams],
+        kernels: &[Arc<KernelParams>],
         seed: u64,
         max_cycles: u64,
     ) -> RunMetrics {
@@ -116,10 +142,10 @@ impl Gpu {
                 kernels_skipped += 1;
                 continue;
             }
-            let kernel = Arc::new(kernel.clone());
             let kernel_seed = seed.wrapping_add(1 + k_idx as u64 * 0x10_0001);
-            let mut dispatcher = GridDispatcher::new(Arc::clone(&kernel));
+            let mut dispatcher = GridDispatcher::new(Arc::clone(kernel));
             dispatcher.set_trace(self.trace.clone());
+            let warps_per_block = kernel.warps_per_block() as usize;
 
             loop {
                 if self.cycle >= deadline {
@@ -130,25 +156,31 @@ impl Gpu {
                 // distributing blocks round-robin (one per SM per pass) as
                 // real block schedulers do — otherwise small grids would
                 // pile onto the first SMs.
-                'feed: loop {
-                    let mut launched_any = false;
-                    for sm in &mut self.sms {
-                        if sm.live_blocks() < occ.blocks_per_sm
-                            && sm.free_warp_slots() >= kernel.warps_per_block() as usize
-                        {
-                            match dispatcher.next_block() {
-                                Some(block_id) => {
-                                    let launched =
-                                        sm.launch_block(&kernel, block_id, kernel_seed, self.cycle);
-                                    debug_assert!(launched, "capacity was checked");
-                                    launched_any = true;
+                if dispatcher.remaining() > 0 {
+                    'feed: loop {
+                        let mut launched_any = false;
+                        for sm in &mut self.sms {
+                            if sm.live_blocks() < occ.blocks_per_sm
+                                && sm.free_warp_slots() >= warps_per_block
+                            {
+                                match dispatcher.next_block() {
+                                    Some(block_id) => {
+                                        let launched = sm.launch_block(
+                                            kernel,
+                                            block_id,
+                                            kernel_seed,
+                                            self.cycle,
+                                        );
+                                        debug_assert!(launched, "capacity was checked");
+                                        launched_any = true;
+                                    }
+                                    None => break 'feed,
                                 }
-                                None => break 'feed,
                             }
                         }
-                    }
-                    if !launched_any {
-                        break;
+                        if !launched_any {
+                            break;
+                        }
                     }
                 }
 
@@ -164,8 +196,30 @@ impl Gpu {
                         dispatcher.retire_block();
                     }
                 }
+                // One pass serves both the issue gate and the wake-time
+                // minimum the skip logic needs below: an SM whose earliest
+                // queued warp is still in the future cannot issue (a full
+                // `cycle` call would only count one idle cycle, so do just
+                // the accounting and remember its wake time); an SM that
+                // does run re-reports its new earliest wake afterwards.
+                let mut sm_wake = u64::MAX;
                 for sm in &mut self.sms {
-                    let retired = sm.cycle(&mut self.mem, self.cycle, now_ns);
+                    let retired = match sm.next_ready_cycle() {
+                        Some(ready) if ready <= self.cycle => {
+                            let r = sm.cycle(&mut self.mem, self.cycle, now_ns);
+                            if let Some(next) = sm.next_ready_cycle() {
+                                sm_wake = sm_wake.min(next);
+                            }
+                            r
+                        }
+                        ready => {
+                            sm.count_idle(1);
+                            if let Some(next) = ready {
+                                sm_wake = sm_wake.min(next);
+                            }
+                            0
+                        }
+                    };
                     for _ in 0..retired {
                         dispatcher.retire_block();
                     }
@@ -174,6 +228,41 @@ impl Gpu {
 
                 if dispatcher.is_done() && self.sms.iter().all(Sm::is_idle) && self.mem.is_idle() {
                     break;
+                }
+                if self.single_step {
+                    continue;
+                }
+
+                // ---- cycle skipping ----
+                // A retirement this cycle may have freed launch capacity;
+                // the next cycle's feed pass must then run (launch order
+                // and warp `ready_at` stamps depend on it).
+                if dispatcher.remaining() > 0
+                    && self.sms.iter().any(|sm| {
+                        sm.live_blocks() < occ.blocks_per_sm
+                            && sm.free_warp_slots() >= warps_per_block
+                    })
+                {
+                    continue;
+                }
+                // Otherwise nothing can happen before the earliest of:
+                // a queued warp's ready cycle (`sm_wake`, collected during
+                // the issue pass above), or the memory system's next
+                // event/maintenance deadline. With no wake source at all
+                // (deadlock until the budget runs out), jump straight to
+                // the deadline — the per-cycle driver would have spun
+                // idly to the same end state.
+                let mut wake = sm_wake;
+                if let Some(t) = self.mem.next_wake_ns() {
+                    wake = wake.min(self.cfg.cycle_of_ns_ceil(t));
+                }
+                let target = wake.clamp(self.cycle, deadline);
+                if target > self.cycle {
+                    let skipped = target - self.cycle;
+                    for sm in &mut self.sms {
+                        sm.count_idle(skipped);
+                    }
+                    self.cycle = target;
                 }
             }
 

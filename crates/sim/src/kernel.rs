@@ -213,7 +213,9 @@ pub struct Workload {
     /// Workload name (benchmark name in reports).
     pub name: String,
     /// Kernels, executed in order with a global barrier between them.
-    pub kernels: Vec<KernelParams>,
+    /// Shared (`Arc`) so dispatchers and per-warp program generators hold
+    /// references instead of deep-cloning the parameter block per run.
+    pub kernels: Vec<Arc<KernelParams>>,
     /// Base RNG seed.
     pub seed: u64,
 }
@@ -228,7 +230,7 @@ impl Workload {
         assert!(!kernels.is_empty(), "a workload needs at least one kernel");
         Workload {
             name: name.to_owned(),
-            kernels,
+            kernels: kernels.into_iter().map(Arc::new).collect(),
             seed,
         }
     }

@@ -44,7 +44,7 @@
 //! let workload = Workload::new("toy", vec![kernel], 42);
 //!
 //! let mut gpu = Gpu::new(cfg);
-//! let metrics = gpu.run(&workload.kernels, 1_000_000);
+//! let metrics = gpu.run_workload(&workload, 1_000_000);
 //! assert!(metrics.finished);
 //! assert!(metrics.ipc() > 0.0);
 //! ```

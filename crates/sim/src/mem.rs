@@ -7,9 +7,9 @@
 //! drives the L2's maintenance (refresh/expiry) clock.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
-use sttgpu_cache::{AccessKind, BankArbiter};
+use sttgpu_cache::{AccessKind, BankArbiter, LineMap};
 use sttgpu_core::{AnyLlc, LlcModel};
 use sttgpu_trace::{Trace, TraceEvent};
 
@@ -49,7 +49,7 @@ pub struct MemSystem {
     dram: BankArbiter,
     events: BinaryHeap<Reverse<(u64, u64, EventKind)>>,
     seq: u64,
-    l2_pending: HashMap<u64, L2Pending>,
+    l2_pending: LineMap<L2Pending>,
     icnt: Icnt,
     dram_row_miss_ns: u64,
     dram_row_hit_ns: u64,
@@ -85,7 +85,7 @@ impl MemSystem {
             dram: BankArbiter::new(cfg.dram.controllers as usize),
             events: BinaryHeap::new(),
             seq: 0,
-            l2_pending: HashMap::new(),
+            l2_pending: LineMap::default(),
             icnt: Icnt::new(cfg.num_sms.max(1), cfg.icnt_latency_ns, cfg.icnt_flit_ns),
             dram_row_miss_ns: cfg.dram.latency_ns,
             dram_row_hit_ns: cfg.dram.row_hit_latency_ns,
@@ -243,6 +243,11 @@ impl MemSystem {
     /// ticks so the per-cycle hot loop allocates nothing.
     pub fn tick(&mut self, now_ns: u64, fills: &mut Vec<FillDelivery>) {
         fills.clear();
+        // Fast path: nothing due yet — one comparison and out, so the
+        // driver can afford to call this every simulated cycle it visits.
+        if self.next_wake_ns().is_none_or(|t| t > now_ns) {
+            return;
+        }
         // L2 refresh/expiry cadence.
         if self.maintain_interval_ns != u64::MAX {
             while self.next_maintain_ns <= now_ns {
@@ -300,6 +305,18 @@ impl MemSystem {
     /// idle cycles).
     pub fn next_event_ns(&self) -> Option<u64> {
         self.events.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Earliest time at which [`tick`](Self::tick) has any work to do —
+    /// the next queued event or the next maintenance deadline, whichever
+    /// comes first. Ticks strictly before this time are no-ops, which is
+    /// what lets the event-driven driver jump over them.
+    pub fn next_wake_ns(&self) -> Option<u64> {
+        let maint = (self.maintain_interval_ns != u64::MAX).then_some(self.next_maintain_ns);
+        match (self.next_event_ns(), maint) {
+            (Some(e), Some(m)) => Some(e.min(m)),
+            (e, m) => e.or(m),
+        }
     }
 }
 

@@ -17,20 +17,114 @@ use crate::kernel::{KernelParams, WritePhase};
 /// any global footprint so the two spaces never alias.
 pub const LOCAL_BASE: u64 = 1 << 40;
 
+/// Inline capacity of [`AddrVec`]. Covers every coalescing factor the
+/// workload suite uses; wider bursts (clamped at 32 lines) spill.
+const ADDR_INLINE: usize = 8;
+
+/// The line addresses one memory instruction touches.
+///
+/// Memory instructions are generated, consumed and dropped tens of
+/// millions of times per simulated second, and almost all of them touch a
+/// handful of coalesced lines — an inline buffer keeps that path off the
+/// allocator entirely.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrVec(AddrRepr);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum AddrRepr {
+    Inline { len: u8, buf: [u64; ADDR_INLINE] },
+    Spill(Vec<u64>),
+}
+
+impl AddrVec {
+    /// An empty list sized for `n` pushes.
+    pub fn with_capacity(n: usize) -> Self {
+        if n <= ADDR_INLINE {
+            AddrVec(AddrRepr::Inline {
+                len: 0,
+                buf: [0; ADDR_INLINE],
+            })
+        } else {
+            AddrVec(AddrRepr::Spill(Vec::with_capacity(n)))
+        }
+    }
+
+    /// A single-address list.
+    pub fn one(addr: u64) -> Self {
+        let mut v = AddrVec::with_capacity(1);
+        v.push(addr);
+        v
+    }
+
+    /// Appends an address, spilling to the heap if the inline buffer is
+    /// full.
+    pub fn push(&mut self, addr: u64) {
+        match &mut self.0 {
+            AddrRepr::Inline { len, buf } => {
+                if (*len as usize) < ADDR_INLINE {
+                    buf[*len as usize] = addr;
+                    *len += 1;
+                } else {
+                    let mut v = buf.to_vec();
+                    v.push(addr);
+                    self.0 = AddrRepr::Spill(v);
+                }
+            }
+            AddrRepr::Spill(v) => v.push(addr),
+        }
+    }
+
+    /// The addresses as a slice.
+    pub fn as_slice(&self) -> &[u64] {
+        match &self.0 {
+            AddrRepr::Inline { len, buf } => &buf[..*len as usize],
+            AddrRepr::Spill(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for AddrVec {
+    type Target = [u64];
+
+    fn deref(&self) -> &[u64] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a AddrVec {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<u64> for AddrVec {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let it = iter.into_iter();
+        let mut v = AddrVec::with_capacity(it.size_hint().0);
+        for a in it {
+            v.push(a);
+        }
+        v
+    }
+}
+
 /// One decoded warp instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WarpInstr {
     /// An arithmetic instruction (register-file only).
     Alu,
     /// A global load touching the given L1-line byte addresses.
-    MemRead(Vec<u64>),
+    MemRead(AddrVec),
     /// A global store touching the given L1-line byte addresses.
-    MemWrite(Vec<u64>),
+    MemWrite(AddrVec),
     /// A **local** (per-thread) load — write-back cached in L1.
-    LocalRead(Vec<u64>),
+    LocalRead(AddrVec),
     /// A **local** (per-thread) store — write-back/write-allocate in L1;
     /// dirty evictions flow to L2 later.
-    LocalWrite(Vec<u64>),
+    LocalWrite(AddrVec),
 }
 
 /// Deterministic per-warp instruction generator.
@@ -147,9 +241,9 @@ impl WarpProgram {
         n.clamp(1, 32)
     }
 
-    fn gen_read(&mut self) -> Vec<u64> {
+    fn gen_read(&mut self) -> AddrVec {
         let n = self.sample_lines();
-        let mut addrs = Vec::with_capacity(n);
+        let mut addrs = AddrVec::with_capacity(n);
         if self.rng.chance(self.params.read_locality) {
             // Stream through the warp's segment: consecutive lines.
             for _ in 0..n {
@@ -168,9 +262,9 @@ impl WarpProgram {
         addrs
     }
 
-    fn gen_write(&mut self) -> Vec<u64> {
+    fn gen_write(&mut self) -> AddrVec {
         let n = self.sample_lines();
-        let mut addrs = Vec::with_capacity(n);
+        let mut addrs = AddrVec::with_capacity(n);
         let wws_len = ((self.params.footprint_bytes as f64 * self.params.wws_fraction) as u64)
             .max(self.line_bytes);
         for _ in 0..n {
@@ -202,14 +296,14 @@ impl WarpProgram {
         }
     }
 
-    fn gen_local(&mut self) -> Vec<u64> {
+    fn gen_local(&mut self) -> AddrVec {
         // A tiny per-warp spill frame, revisited round-robin: spills have
         // extreme locality.
         let frame_lines = 2u64;
         let base = LOCAL_BASE + self.local_warp_id * frame_lines * self.line_bytes;
         let off = (self.local_cursor % frame_lines) * self.line_bytes;
         self.local_cursor += 1;
-        vec![base + off]
+        AddrVec::one(base + off)
     }
 
     /// Generates the next instruction, or `None` when the warp is done.
@@ -217,24 +311,26 @@ impl WarpProgram {
         if self.is_finished() {
             return None;
         }
-        let w_prob = self.write_probability();
-        self.issued += 1;
-        if self.rng.chance(self.params.mem_fraction) {
+        let instr = if self.rng.chance(self.params.mem_fraction) {
             if self.params.local_fraction > 0.0 && self.rng.chance(self.params.local_fraction) {
                 // Register spills: reads and rewrites of the private frame.
                 if self.rng.chance(0.5) {
-                    Some(WarpInstr::LocalWrite(self.gen_local()))
+                    WarpInstr::LocalWrite(self.gen_local())
                 } else {
-                    Some(WarpInstr::LocalRead(self.gen_local()))
+                    WarpInstr::LocalRead(self.gen_local())
                 }
-            } else if self.rng.chance(w_prob) {
-                Some(WarpInstr::MemWrite(self.gen_write()))
+            } else if self.rng.chance(self.write_probability()) {
+                WarpInstr::MemWrite(self.gen_write())
             } else {
-                Some(WarpInstr::MemRead(self.gen_read()))
+                WarpInstr::MemRead(self.gen_read())
             }
         } else {
-            Some(WarpInstr::Alu)
-        }
+            WarpInstr::Alu
+        };
+        // The phase decision in `write_probability` uses the pre-issue
+        // position, so the count is bumped only after the draws.
+        self.issued += 1;
+        Some(instr)
     }
 }
 
@@ -337,7 +433,7 @@ mod tests {
         let mut total = 0usize;
         for instr in std::iter::from_fn(|| prog.next_instr()) {
             if let WarpInstr::MemWrite(addrs) = instr {
-                for a in addrs {
+                for &a in &addrs {
                     total += 1;
                     if a < wws_limit {
                         in_wws += 1;
@@ -386,7 +482,7 @@ mod tests {
             match instr {
                 WarpInstr::LocalRead(a) | WarpInstr::LocalWrite(a) => {
                     locals += 1;
-                    for addr in a {
+                    for &addr in &a {
                         assert!(addr >= LOCAL_BASE);
                         frame.insert(addr);
                     }
@@ -415,7 +511,7 @@ mod tests {
             let mut frame = std::collections::BTreeSet::new();
             for instr in std::iter::from_fn(|| prog.next_instr()) {
                 if let WarpInstr::LocalRead(a) | WarpInstr::LocalWrite(a) = instr {
-                    frame.extend(a);
+                    frame.extend(a.iter().copied());
                 }
             }
             frame

@@ -22,14 +22,35 @@ use crate::warp::Warp;
 /// Replay delay after an MSHR-full stall, cycles.
 const MSHR_RETRY_CYCLES: u64 = 8;
 
+/// One ready-queue entry. `ready_at` and `age` are copied out of the warp
+/// at enqueue time — both are immutable while the warp sits in the queue —
+/// so scheduler scans stay inside the deque's contiguous storage instead
+/// of chasing `warps[slot]` for every element.
+#[derive(Debug, Clone, Copy)]
+struct ReadyEntry {
+    slot: u32,
+    ready_at: u64,
+    age: u64,
+}
+
 /// One streaming multiprocessor.
 #[derive(Debug)]
 pub struct Sm {
     id: u32,
     warps: Vec<Option<Warp>>,
-    ready: VecDeque<usize>,
+    ready: VecDeque<ReadyEntry>,
+    /// Exact earliest `ready_at` over all queued warps (`u64::MAX` when
+    /// none is queued). Maintained incrementally: enqueues lower it in
+    /// O(1); [`cycle`](Sm::cycle) recomputes it once per call with a
+    /// single scan of `ready` after its dequeues — never per issue slot,
+    /// and never from the gate-side reader.
+    next_ready: u64,
     /// Live warps per resident block slot (0 = slot free).
     blocks: Vec<u32>,
+    /// Live warp count (cached; `warps` holds exactly this many `Some`s).
+    warps_live: u32,
+    /// Live block count (cached; `blocks` holds this many nonzero slots).
+    blocks_live: u32,
     l1: L1Cache,
     issue_width: u32,
     dep_interval: u64,
@@ -39,6 +60,10 @@ pub struct Sm {
     trace: Trace,
     /// The warp GTO keeps issuing from until it stalls.
     greedy: Option<usize>,
+    /// Whether the greedy warp is currently queued. A queued greedy warp
+    /// is *parked* outside `ready` (see [`enqueue`](Sm::enqueue)), which
+    /// makes the GTO fast path O(1) instead of a deque scan.
+    greedy_parked: bool,
     /// Monotone launch counter assigning warp ages.
     age_counter: u64,
     /// Thread instructions committed.
@@ -56,7 +81,10 @@ impl Sm {
             id,
             warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
             ready: VecDeque::new(),
+            next_ready: u64::MAX,
             blocks: Vec::new(),
+            warps_live: 0,
+            blocks_live: 0,
             l1: L1Cache::new(&cfg.l1),
             issue_width: cfg.issue_width,
             dep_interval: cfg.dep_interval_cycles as u64,
@@ -65,6 +93,7 @@ impl Sm {
             scheduler: cfg.scheduler,
             trace: Trace::off(),
             greedy: None,
+            greedy_parked: false,
             age_counter: 0,
             instructions: 0,
             idle_cycles: 0,
@@ -79,22 +108,22 @@ impl Sm {
 
     /// Free warp contexts.
     pub fn free_warp_slots(&self) -> usize {
-        self.warps.iter().filter(|w| w.is_none()).count()
+        self.warps.len() - self.warps_live as usize
     }
 
     /// Live warps.
     pub fn live_warps(&self) -> usize {
-        self.warps.iter().filter(|w| w.is_some()).count()
+        self.warps_live as usize
     }
 
     /// Live blocks.
     pub fn live_blocks(&self) -> u32 {
-        self.blocks.iter().filter(|&&c| c > 0).count() as u32
+        self.blocks_live
     }
 
     /// Whether nothing is resident.
     pub fn is_idle(&self) -> bool {
-        self.live_warps() == 0
+        self.warps_live == 0
     }
 
     /// The SM's L1 data cache (for statistics).
@@ -139,6 +168,7 @@ impl Sm {
                 self.blocks.len() - 1
             }
         };
+        self.blocks_live += 1;
         let mut placed = 0u32;
         for slot in 0..self.warps.len() {
             if placed == needed as u32 {
@@ -158,7 +188,8 @@ impl Sm {
                 warp.ready_at = cycle;
                 warp.queued = true;
                 self.warps[slot] = Some(warp);
-                self.ready.push_back(slot);
+                self.warps_live += 1;
+                self.enqueue(slot);
                 placed += 1;
             }
         }
@@ -178,9 +209,66 @@ impl Sm {
     /// Retires `slot`'s warp; returns `true` when its whole block retired.
     fn retire_warp(&mut self, slot: usize) -> bool {
         let warp = self.warps[slot].take().expect("retiring a live warp");
+        self.warps_live -= 1;
         let left = &mut self.blocks[warp.block_slot];
         *left -= 1;
-        *left == 0
+        if *left == 0 {
+            self.blocks_live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Queues `slot`'s (live, `queued`) warp for issue and records its
+    /// `ready_at` in the wake heap. The greedy warp parks outside `ready`
+    /// so GTO's fast path need not scan the deque for it.
+    fn enqueue(&mut self, slot: usize) {
+        let warp = self.warps[slot].as_ref().expect("enqueueing a live warp");
+        let (ready_at, age) = (warp.ready_at, warp.age);
+        self.next_ready = self.next_ready.min(ready_at);
+        if self.greedy == Some(slot) {
+            self.greedy_parked = true;
+        } else {
+            self.ready.push_back(ReadyEntry {
+                slot: slot as u32,
+                ready_at,
+                age,
+            });
+        }
+    }
+
+    /// Earliest cycle at which any queued warp can issue, or `None` when
+    /// none is queued (the SM is empty or every warp is blocked on
+    /// memory). O(1): reads the incrementally maintained minimum.
+    pub fn next_ready_cycle(&self) -> Option<u64> {
+        (self.next_ready != u64::MAX).then_some(self.next_ready)
+    }
+
+    /// Recomputes [`next_ready`](Sm::next_ready) from scratch: the queued
+    /// set is exactly `ready`'s entries plus the parked greedy warp, and
+    /// entry `ready_at`s are authoritative while a warp is queued.
+    fn recompute_next_ready(&mut self) {
+        let (a, b) = self.ready.as_slices();
+        let mut min = u64::MAX;
+        for e in a.iter().chain(b.iter()) {
+            min = min.min(e.ready_at);
+        }
+        if self.greedy_parked {
+            let g = self.greedy.expect("parked implies a greedy slot");
+            let w = self.warps[g].as_ref().expect("parked warp is live");
+            min = min.min(w.ready_at);
+        }
+        self.next_ready = min;
+    }
+
+    /// Records `n` cycles in which this SM had live warps but could not
+    /// issue — exactly the accounting [`cycle`](Sm::cycle) would have
+    /// produced had it been called once per skipped cycle.
+    pub fn count_idle(&mut self, n: u64) {
+        if self.warps_live > 0 {
+            self.idle_cycles += n;
+        }
     }
 
     /// Delivers an L1 fill response, waking warps. Returns the number of
@@ -206,7 +294,7 @@ impl Sm {
                 }
             } else if warp.pending_loads < self.max_pending && !warp.stream_done() {
                 warp.queued = true;
-                self.ready.push_back(slot);
+                self.enqueue(slot);
             }
         }
         blocks_retired
@@ -243,42 +331,62 @@ impl Sm {
     /// Removes and returns the next issuable warp slot per the scheduling
     /// policy, or `None` if no queued warp can issue this cycle.
     fn pop_issuable(&mut self, cycle: u64) -> Option<usize> {
-        let issuable = |warps: &[Option<Warp>], slot: usize| {
-            warps[slot].as_ref().is_some_and(|w| w.ready_at <= cycle)
-        };
         match self.scheduler {
             WarpScheduler::LooseRoundRobin => {
-                // Rotate until an issuable warp surfaces.
-                for _ in 0..self.ready.len() {
-                    let slot = self.ready.pop_front()?;
-                    if issuable(&self.warps, slot) {
-                        return Some(slot);
-                    }
-                    self.ready.push_back(slot);
-                }
-                None
+                // The first issuable warp in rotation order wins and the
+                // not-ready prefix rotates to the back — exactly what a
+                // pop/check/push-back loop does, but as one contiguous
+                // scan plus one bulk rotate.
+                let (a, b) = self.ready.as_slices();
+                let pos = match a.iter().position(|e| e.ready_at <= cycle) {
+                    Some(i) => Some(i),
+                    None => b
+                        .iter()
+                        .position(|e| e.ready_at <= cycle)
+                        .map(|i| a.len() + i),
+                };
+                let pos = pos?;
+                self.ready.rotate_left(pos);
+                let entry = self.ready.pop_front().expect("found above");
+                Some(entry.slot as usize)
             }
             WarpScheduler::GreedyThenOldest => {
-                // Stick with the greedy warp while it can issue...
-                if let Some(g) = self.greedy {
-                    if let Some(idx) = self.ready.iter().position(|&s| s == g) {
-                        if issuable(&self.warps, g) {
-                            self.ready.remove(idx);
-                            return Some(g);
-                        }
+                // Stick with the greedy warp while it can issue. It parks
+                // outside `ready` (see `enqueue`), so this is O(1) rather
+                // than a position scan of the deque.
+                if self.greedy_parked {
+                    let g = self.greedy.expect("parked implies a greedy slot");
+                    let ready = self.warps[g].as_ref().is_some_and(|w| w.ready_at <= cycle);
+                    if ready {
+                        self.greedy_parked = false;
+                        return Some(g);
                     }
                 }
-                // ...otherwise the oldest ready warp becomes greedy.
+                // ...otherwise the oldest ready warp becomes greedy. Ages
+                // are unique, so the minimum is order-independent and the
+                // O(1) swap_remove_back cannot change the schedule.
                 let best = self
                     .ready
                     .iter()
                     .enumerate()
-                    .filter(|&(_, &s)| issuable(&self.warps, s))
-                    .min_by_key(|&(_, &s)| self.warps[s].as_ref().expect("queued").age)
+                    .filter(|(_, e)| e.ready_at <= cycle)
+                    .min_by_key(|(_, e)| e.age)
                     .map(|(idx, _)| idx)?;
-                let slot = self.ready.remove(best).expect("index valid");
-                self.greedy = Some(slot);
-                Some(slot)
+                let entry = self.ready.swap_remove_back(best).expect("index valid");
+                if self.greedy_parked {
+                    // The stalled ex-greedy warp rejoins the rotation.
+                    let g = self.greedy.expect("parked implies a greedy slot");
+                    let w = self.warps[g].as_ref().expect("parked warp is live");
+                    let (ready_at, age) = (w.ready_at, w.age);
+                    self.ready.push_back(ReadyEntry {
+                        slot: g as u32,
+                        ready_at,
+                        age,
+                    });
+                    self.greedy_parked = false;
+                }
+                self.greedy = Some(entry.slot as usize);
+                Some(entry.slot as usize)
             }
         }
     }
@@ -288,9 +396,11 @@ impl Sm {
         let mut blocks_retired = 0;
         let mut issued = 0u32;
         let mut issued_any = false;
+        let mut exhausted = false;
 
         while issued < self.issue_width {
             let Some(slot) = self.pop_issuable(cycle) else {
+                exhausted = true;
                 break;
             };
             let warp = self.warps[slot].as_mut().expect("queued warp is live");
@@ -312,7 +422,7 @@ impl Sm {
                     let dep = self.dep_interval;
                     let warp = self.warps[slot].as_mut().expect("live");
                     warp.ready_at = cycle + dep;
-                    self.ready.push_back(slot);
+                    self.enqueue(slot);
                 }
                 WarpInstr::MemWrite(addrs) => {
                     for &addr in &addrs {
@@ -323,7 +433,7 @@ impl Sm {
                     let dep = self.dep_interval;
                     let warp = self.warps[slot].as_mut().expect("live");
                     warp.ready_at = cycle + dep;
-                    self.ready.push_back(slot);
+                    self.enqueue(slot);
                 }
                 WarpInstr::LocalWrite(addrs) => {
                     // Write-back/write-allocate (paper Fig. 1-b): the write
@@ -337,7 +447,7 @@ impl Sm {
                     let dep = self.dep_interval;
                     let warp = self.warps[slot].as_mut().expect("live");
                     warp.ready_at = cycle + dep;
-                    self.ready.push_back(slot);
+                    self.enqueue(slot);
                 }
                 WarpInstr::MemRead(addrs) | WarpInstr::LocalRead(addrs) => {
                     let (misses, ok) = self.issue_reads(slot, &addrs, mem, now_ns);
@@ -349,7 +459,7 @@ impl Sm {
                         self.mshr_stalls += 1;
                         warp.replay = Some(WarpInstr::MemRead(addrs));
                         warp.ready_at = cycle + MSHR_RETRY_CYCLES;
-                        self.ready.push_back(slot);
+                        self.enqueue(slot);
                         continue;
                     }
                     self.instructions += self.warp_size as u64;
@@ -363,10 +473,20 @@ impl Sm {
                         }
                     } else {
                         warp.ready_at = cycle + self.dep_interval;
-                        self.ready.push_back(slot);
+                        self.enqueue(slot);
                     }
                 }
             }
+        }
+
+        // `next_ready` is a lower bound (pops only raise the true minimum;
+        // enqueues fold in via `min`). A stale-low bound merely costs one
+        // futile `cycle` call whose idle accounting matches `count_idle`,
+        // so the exact value is only restored — with one scan — when the
+        // queue proved empty of issuable warps, which is precisely when
+        // the driver needs it to compute a skip.
+        if exhausted {
+            self.recompute_next_ready();
         }
 
         if !issued_any && !self.is_idle() {

@@ -35,7 +35,7 @@ fn fuzzed_kernels_always_drain() {
         let k = random_kernel(&mut rng);
         let seed = rng.range_u64(0, 1000);
         let mut gpu = Gpu::new(small_cfg());
-        let m = gpu.run_seeded(std::slice::from_ref(&k), seed, 30_000_000);
+        let m = gpu.run_seeded(&[std::sync::Arc::new(k.clone())], seed, 30_000_000);
         assert!(m.finished, "kernel did not drain: {k:?}");
         let expected =
             k.blocks as u64 * k.threads_per_block as u64 * k.instructions_per_warp as u64;
@@ -103,7 +103,7 @@ fn accounting_identities() {
         let k = random_kernel(&mut rng);
         let seed = rng.range_u64(0, 500);
         let mut gpu = Gpu::new(small_cfg());
-        let m = gpu.run_seeded(&[k], seed, 30_000_000);
+        let m = gpu.run_seeded(&[std::sync::Arc::new(k)], seed, 30_000_000);
         assert!(m.finished);
         assert_eq!(
             m.l2.accesses(),

@@ -21,7 +21,7 @@ pub fn scaled(workload: &Workload, factor: f64) -> Workload {
         .kernels
         .iter()
         .map(|k| {
-            let mut k = k.clone();
+            let mut k = (**k).clone();
             k.blocks = ((k.blocks as f64 * factor).round() as u32).max(2);
             k.instructions_per_warp =
                 ((k.instructions_per_warp as f64 * factor.sqrt()).round() as u32).max(50);
