@@ -27,8 +27,8 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "==> repro smoke run (scale 0.1, all artefacts)"
     ./target/release/repro --scale 0.1 all > /dev/null
 
-    echo "==> repro invariant-checker run (scale 0.05, all artefacts, --check)"
-    ./target/release/repro --scale 0.05 all --check > /dev/null
+    echo "==> repro invariant-checker run (scale 0.05, all artefacts, --check, --sim-threads 4)"
+    ./target/release/repro --scale 0.05 all --check --sim-threads 4 > /dev/null
 
     echo "==> repro seeded fault-injection run (scale 0.05, --faults 2e-4, --check)"
     ./target/release/repro --scale 0.05 --faults 2e-4 --fault-seed 7 fig8 faults --check > /dev/null
@@ -36,8 +36,8 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "==> repro perf canary (fixed workload vs results/BENCH_repro.json baseline)"
     ./target/release/repro --canary > /dev/null
 
-    echo "==> repro differential fuzz vs the oracle (10000 cases, seed 7)"
-    ./target/release/repro --fuzz 10000 --fuzz-seed 7 > /dev/null
+    echo "==> repro differential fuzz vs the oracle (50000 cases, seed 7, 4 shards)"
+    ./target/release/repro --fuzz 50000 --fuzz-seed 7 --sim-threads 4 > /dev/null
 fi
 
 echo "CI OK"

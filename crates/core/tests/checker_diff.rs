@@ -8,8 +8,7 @@
 //! outcome, counter, or energy ledger entry, and the checker must report
 //! zero invariant violations on every stream.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use sttgpu_cache::AccessKind;
 use sttgpu_core::{LlcModel, LlcStats, TwoPartConfig, TwoPartLlc};
@@ -46,10 +45,10 @@ fn replay(
     let checker = check.then(|| {
         // Deadlines are serviced up to one maintenance interval late, so
         // the age-based invariants get exactly that much slack.
-        let c = Rc::new(RefCell::new(Checker::new(
+        let c = Arc::new(Mutex::new(Checker::new(
             cfg.check_config().with_slack_ns(cadence),
         )));
-        llc.set_trace(Trace::to_sink(Rc::clone(&c)));
+        llc.set_trace(Trace::to_sink(Arc::clone(&c)));
         c
     });
     let mut hits = Vec::with_capacity(ops.len());
@@ -76,7 +75,7 @@ fn replay(
     let stats = llc.summary();
     let energy = llc.energy().dynamic_nj();
     let report = checker.map(|c| {
-        let mut c = c.borrow_mut();
+        let mut c = c.lock().unwrap();
         // Feed the model's own ledgers back so the conservation
         // invariants (accesses = hits + misses, energy totals = sum of
         // per-event deposits) are enforced as well.

@@ -30,6 +30,7 @@ struct Options {
     hr_retention_ms: f64,
     hr_kb: u64,
     jobs: Option<usize>,
+    sim_threads: u32,
     check: bool,
 }
 
@@ -43,6 +44,7 @@ impl Default for Options {
             hr_retention_ms: 4.0,
             hr_kb: 1344,
             jobs: None,
+            sim_threads: 1,
             check: false,
         }
     }
@@ -94,6 +96,15 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.jobs = Some(n);
             }
+            "--sim-threads" => {
+                let n: u32 = value("--sim-threads")?
+                    .parse()
+                    .map_err(|_| "bad --sim-threads".to_owned())?;
+                if n == 0 {
+                    return Err("bad --sim-threads".to_owned());
+                }
+                opts.sim_threads = n;
+            }
             "--check" => opts.check = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument {other}")),
@@ -110,7 +121,8 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: explore [--workload NAME] [--scale F] [--jobs N] [--check] [--lr-kb A,B,..]\n\
+                "usage: explore [--workload NAME] [--scale F] [--jobs N] [--sim-threads T] \
+                 [--check] [--lr-kb A,B,..]\n\
                  \t[--lr-retention-us A,B,..] [--hr-retention-ms X] [--hr-kb N]"
             );
             return ExitCode::FAILURE;
@@ -129,6 +141,7 @@ fn main() -> ExitCode {
         scale: opts.scale,
         max_cycles: 20_000_000,
         check: opts.check,
+        sim_threads: opts.sim_threads,
         ..RunPlan::full()
     };
 

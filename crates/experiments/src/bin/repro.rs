@@ -8,6 +8,7 @@
 //! repro --jobs 8 all      # executor thread count (default: all cores)
 //! repro --out results all # also write <artefact>.txt/.csv under results/
 //! repro all --check       # attach the runtime invariant checker
+//! repro --sim-threads 4 all               # parallel SM stepping (byte-identical)
 //! repro --faults 2e-4 --fault-seed 7 all  # deterministic fault injection
 //! repro --out results --resume all        # continue an interrupted sweep
 //! repro --fuzz 10000 --fuzz-seed 7        # differential fuzz vs the oracle
@@ -36,7 +37,10 @@
 //! `--fuzz N` runs `N` seeded random traces through the two-part LLC
 //! and the reference model in `sttgpu-oracle`, rotating across the
 //! oracle's corner geometries, instead of producing artefacts.
-//! `--fuzz-seed` varies the campaign (default 7). Any divergence is
+//! `--fuzz-seed` varies the campaign (default 7). With `--sim-threads T`
+//! the campaign is sharded into contiguous case ranges on `T` worker
+//! threads; per-case seeds derive from the global case index, so the
+//! report is byte-identical to the serial sweep. Any divergence is
 //! minimized, printed as ready-to-check-in `Op` literals, and fails
 //! the run with a nonzero exit code.
 
@@ -69,9 +73,9 @@ const ARTEFACTS: [&str; 10] = [
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--quick] [--scale F] [--jobs N] [--out DIR] [--check] \
-         [--faults RATE] [--fault-seed N] [--resume] <all|{}> ...\n\
-         \x20      repro --fuzz N [--fuzz-seed S]   # differential fuzz vs the oracle\n\
+        "usage: repro [--quick] [--scale F] [--jobs N] [--sim-threads T] [--out DIR] \
+         [--check] [--faults RATE] [--fault-seed N] [--resume] <all|{}> ...\n\
+         \x20      repro --fuzz N [--fuzz-seed S] [--sim-threads T]  # differential fuzz vs the oracle\n\
          \x20      repro --canary [--out DIR]       # perf canary vs checked-in baseline",
         ARTEFACTS.join("|")
     );
@@ -99,37 +103,63 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
     tail[..end].trim().parse().ok()
 }
 
-/// Perf canary: times a fixed deterministic workload (the Fig. 8 suite at
-/// a reduced scale, single-threaded so the number is comparable across
-/// hosts with different core counts), writes the measured simulation
-/// throughput into `BENCH_repro.json`, and fails when it drops more than
-/// 30% below the checked-in baseline.
-fn run_canary(out_dir: Option<&Path>) -> ExitCode {
+/// One timed canary measurement: the Fig. 8 suite at the canary scale on
+/// a fresh single-job executor with `threads` SM-stepping threads.
+/// Returns `(wall_clock_s, cycles_simulated, cycles_per_second)`, or
+/// `None` when the artefact came out empty (a broken run must be loud).
+fn canary_measurement(threads: u32) -> Option<(f64, u64, f64)> {
     let exec = Executor::new(1);
-    let plan = RunPlan::full().with_scale(CANARY_SCALE);
-    eprintln!("# repro --canary: fig8 suite at scale {CANARY_SCALE}, 1 job");
+    let plan = RunPlan::full()
+        .with_scale(CANARY_SCALE)
+        .with_sim_threads(threads);
     let started = Instant::now();
     let (rows, summary) = fig8::compute(&exec, &plan);
     let secs = started.elapsed().as_secs_f64();
-    // Keep the artefact alive so the compute cannot be optimized away and
-    // a broken run is loud.
+    // Keep the artefact alive so the compute cannot be optimized away.
     if rows.is_empty() || fig8::render(&rows, &summary).is_empty() {
-        eprintln!("# canary produced an empty fig8 artefact");
-        return ExitCode::FAILURE;
+        eprintln!("# canary produced an empty fig8 artefact (sim-threads {threads})");
+        return None;
     }
     let stats = exec.stats();
     let cps = stats.cycles_simulated as f64 / secs.max(1e-9);
+    Some((secs, stats.cycles_simulated, cps))
+}
+
+/// Perf canary: times a fixed deterministic workload (the Fig. 8 suite at
+/// a reduced scale, one executor job so the number is comparable across
+/// hosts with different core counts) at `--sim-threads 1` and
+/// `--sim-threads 4`, writes both measured throughputs into
+/// `BENCH_repro.json`, and fails when the *serial* number drops more than
+/// 30% below the checked-in baseline (the serial number is the
+/// host-comparable one; the parallel speedup depends on core count and is
+/// recorded, not gated).
+fn run_canary(out_dir: Option<&Path>) -> ExitCode {
+    eprintln!("# repro --canary: fig8 suite at scale {CANARY_SCALE}, 1 job, sim-threads 1 and 4");
+    let Some((secs_1, cycles_1, cps_1)) = canary_measurement(1) else {
+        return ExitCode::FAILURE;
+    };
+    let Some((secs_4, cycles_4, cps_4)) = canary_measurement(4) else {
+        return ExitCode::FAILURE;
+    };
     let baseline = fs::read_to_string(CANARY_BASELINE_PATH)
         .ok()
         .and_then(|t| json_number(&t, "canary_baseline_cycles_per_second"));
     let mut json = String::from("{\n  \"canary\": {\n");
     json.push_str(&format!("    \"scale\": {CANARY_SCALE},\n"));
-    json.push_str(&format!("    \"wall_clock_s\": {secs:.3},\n"));
+    json.push_str("    \"sim_threads_1\": {\n");
+    json.push_str(&format!("      \"wall_clock_s\": {secs_1:.3},\n"));
+    json.push_str(&format!("      \"cycles_simulated\": {cycles_1},\n"));
+    json.push_str(&format!("      \"cycles_per_second\": {cps_1:.0}\n"));
+    json.push_str("    },\n");
+    json.push_str("    \"sim_threads_4\": {\n");
+    json.push_str(&format!("      \"wall_clock_s\": {secs_4:.3},\n"));
+    json.push_str(&format!("      \"cycles_simulated\": {cycles_4},\n"));
+    json.push_str(&format!("      \"cycles_per_second\": {cps_4:.0}\n"));
+    json.push_str("    },\n");
     json.push_str(&format!(
-        "    \"cycles_simulated\": {},\n",
-        stats.cycles_simulated
+        "    \"parallel_speedup\": {:.3},\n",
+        cps_4 / cps_1.max(1e-9)
     ));
-    json.push_str(&format!("    \"cycles_per_second\": {cps:.0},\n"));
     json.push_str(&format!(
         "    \"baseline_cycles_per_second\": {}\n",
         baseline.map_or_else(|| "null".into(), |b| format!("{b:.0}"))
@@ -149,11 +179,19 @@ fn run_canary(out_dir: Option<&Path>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!(
-        "# canary: {:.1}M cycles in {secs:.1}s = {:.2}M cycles/s (written to {})",
-        stats.cycles_simulated as f64 / 1e6,
-        cps / 1e6,
+        "# canary: sim-threads 1: {:.1}M cycles in {secs_1:.1}s = {:.2}M cycles/s",
+        cycles_1 as f64 / 1e6,
+        cps_1 / 1e6,
+    );
+    eprintln!(
+        "# canary: sim-threads 4: {:.1}M cycles in {secs_4:.1}s = {:.2}M cycles/s \
+         (speedup {:.2}x, written to {})",
+        cycles_4 as f64 / 1e6,
+        cps_4 / 1e6,
+        cps_4 / cps_1.max(1e-9),
         bench_path.display()
     );
+    let cps = cps_1;
     match baseline {
         None => {
             eprintln!("# canary: no baseline at {CANARY_BASELINE_PATH} — recording only");
@@ -183,14 +221,15 @@ fn run_canary(out_dir: Option<&Path>) -> ExitCode {
 /// Differential fuzz mode: `N` seeded traces through implementation and
 /// oracle, round-robin over the corner geometries. Divergences are
 /// minimized and printed; any divergence fails the run.
-fn run_fuzz(cases: u64, seed: u64) -> ExitCode {
+fn run_fuzz(cases: u64, seed: u64, shards: u64) -> ExitCode {
     let corners = sttgpu_oracle::corner_geometries();
     eprintln!(
-        "# repro --fuzz: {cases} cases over {} corner geometries, base seed {seed}",
+        "# repro --fuzz: {cases} cases over {} corner geometries, base seed {seed}, \
+         {shards} shard(s)",
         corners.len()
     );
     let started = Instant::now();
-    let report = sttgpu_oracle::fuzz(cases, seed);
+    let report = sttgpu_oracle::fuzz_sharded(cases, seed, shards);
     for corner in &corners {
         let failed = report
             .failures
@@ -227,12 +266,14 @@ fn run_fuzz(cases: u64, seed: u64) -> ExitCode {
 /// patterns for the floats: resume must match exactly, not approximately.
 fn journal_line(name: &str, plan: &RunPlan) -> String {
     format!(
-        "ok {name} scale={:016x} max_cycles={} check={} fault_rate={:016x} fault_seed={}",
+        "ok {name} scale={:016x} max_cycles={} check={} fault_rate={:016x} fault_seed={} \
+         sim_threads={}",
         plan.scale.to_bits(),
         plan.max_cycles,
         u8::from(plan.check),
         plan.fault.rate.to_bits(),
         plan.fault.seed,
+        plan.sim_threads,
     )
 }
 
@@ -316,6 +357,7 @@ fn bench_json(
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str(&format!("  \"sim_threads\": {},\n", plan.sim_threads));
     out.push_str(&format!("  \"scale\": {},\n", plan.scale));
     out.push_str(&format!("  \"max_cycles\": {},\n", plan.max_cycles));
     out.push_str(&format!("  \"wall_clock_s\": {total_s:.3},\n"));
@@ -345,6 +387,7 @@ fn main() -> ExitCode {
     let mut targets: Vec<String> = Vec::new();
     let mut out_dir: Option<PathBuf> = None;
     let mut jobs: Option<usize> = None;
+    let mut sim_threads = 1u32;
     let mut check = false;
     let mut fault_rate = 0.0;
     let mut fault_seed = 0;
@@ -373,6 +416,15 @@ fn main() -> ExitCode {
                     return usage();
                 }
                 jobs = Some(n);
+            }
+            "--sim-threads" => {
+                let Some(n) = args.next().and_then(|s| s.parse::<u32>().ok()) else {
+                    return usage();
+                };
+                if n == 0 {
+                    return usage();
+                }
+                sim_threads = n;
             }
             "--out" => {
                 let Some(dir) = args.next() else {
@@ -432,7 +484,7 @@ fn main() -> ExitCode {
             eprintln!("--fuzz does not take artefact targets");
             return usage();
         }
-        return run_fuzz(cases, fuzz_seed);
+        return run_fuzz(cases, fuzz_seed, u64::from(sim_threads));
     }
     if targets.is_empty() {
         return usage();
@@ -440,7 +492,10 @@ fn main() -> ExitCode {
     if targets.iter().any(|t| t == "all") {
         targets = ARTEFACTS.iter().map(|s| s.to_string()).collect();
     }
-    plan = plan.with_check(check).with_faults(fault_rate, fault_seed);
+    plan = plan
+        .with_check(check)
+        .with_faults(fault_rate, fault_seed)
+        .with_sim_threads(sim_threads);
     if resume && out_dir.is_none() {
         eprintln!("--resume needs --out DIR (that's where the journal lives)");
         return usage();
@@ -450,10 +505,11 @@ fn main() -> ExitCode {
         None => Executor::auto(),
     };
     eprintln!(
-        "# repro: scale={} max_cycles={} jobs={} artefacts={:?}",
+        "# repro: scale={} max_cycles={} jobs={} sim_threads={} artefacts={:?}",
         plan.scale,
         plan.max_cycles,
         exec.jobs(),
+        plan.sim_threads,
         targets
     );
     if let Some(dir) = &out_dir {

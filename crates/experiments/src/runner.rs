@@ -14,10 +14,8 @@
 //! Results always come back in **input order**, so tables and CSVs are
 //! byte-identical whether the executor runs with 1 job or 32.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -69,6 +67,12 @@ pub struct RunPlan {
     pub check: bool,
     /// Fault injection applied to two-part configurations (`--faults`).
     pub fault: FaultSpec,
+    /// Threads stepping the SMs inside each simulation (`--sim-threads`).
+    /// Simulation output is byte-identical for every value (the parallel
+    /// driver merges in canonical order — DESIGN.md §11); it still sits
+    /// in the memo key, like [`FaultSpec`], so a cache hit always states
+    /// exactly how the run was produced.
+    pub sim_threads: u32,
 }
 
 impl RunPlan {
@@ -79,6 +83,7 @@ impl RunPlan {
             max_cycles: 6_000_000,
             check: false,
             fault: FaultSpec::NONE,
+            sim_threads: 1,
         }
     }
 
@@ -89,6 +94,7 @@ impl RunPlan {
             max_cycles: 2_000_000,
             check: false,
             fault: FaultSpec::NONE,
+            sim_threads: 1,
         }
     }
 
@@ -109,6 +115,13 @@ impl RunPlan {
     pub fn with_faults(mut self, rate: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "fault rate outside [0, 1]");
         self.fault = FaultSpec { rate, seed };
+        self
+    }
+
+    /// A plan stepping SMs with `threads` threads per simulation.
+    pub fn with_sim_threads(mut self, threads: u32) -> Self {
+        assert!(threads >= 1, "sim_threads must be at least 1");
+        self.sim_threads = threads;
         self
     }
 }
@@ -162,8 +175,8 @@ fn checker_for(gpu: &Gpu) -> Checker {
 
 /// Feeds the end-of-run conservation reports into `checker` and closes
 /// the run, returning the accumulated report.
-fn close_check(checker: &Rc<RefCell<Checker>>, metrics: &RunMetrics) -> CheckReport {
-    let mut c = checker.borrow_mut();
+fn close_check(checker: &Arc<Mutex<Checker>>, metrics: &RunMetrics) -> CheckReport {
+    let mut c = checker.lock().expect("checker poisoned");
     c.emit(&TraceEvent::MetricsReport {
         read_hits: metrics.l2.read_hits,
         read_misses: metrics.l2.read_misses,
@@ -214,9 +227,10 @@ fn run_config_once(
         }
     }
     let mut gpu = Gpu::new(cfg);
+    gpu.set_sim_threads(plan.sim_threads as usize);
     let checker = plan.check.then(|| {
-        let checker = Rc::new(RefCell::new(checker_for(&gpu)));
-        gpu.set_trace(Trace::to_sink(Rc::clone(&checker)));
+        let checker = Arc::new(Mutex::new(checker_for(&gpu)));
+        gpu.set_trace(Trace::to_sink(Arc::clone(&checker)));
         checker
     });
     let metrics = gpu.run_workload(&scaled, plan.max_cycles);
@@ -300,7 +314,7 @@ pub fn run(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunOutput {
 /// Memoization key of one named-configuration run. `RunPlan` holds `f64`
 /// scale/rate fields, so the key stores their bit patterns (plans are
 /// constructed, not computed, so bit equality is the right notion here).
-type RunKey = (L2Choice, String, u64, u64, bool, u64, u64);
+type RunKey = (L2Choice, String, u64, u64, bool, u64, u64, u32);
 
 fn run_key(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunKey {
     (
@@ -311,6 +325,7 @@ fn run_key(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunKey {
         plan.check,
         plan.fault.rate.to_bits(),
         plan.fault.seed,
+        plan.sim_threads,
     )
 }
 

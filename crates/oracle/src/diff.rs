@@ -212,8 +212,10 @@ pub fn run_case(cfg: &TwoPartConfig, ops: &[Op]) -> Option<Divergence> {
 }
 
 /// One diverging fuzz case, minimized and ready to report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuzzFailure {
+    /// Global case index within the campaign.
+    pub case: u64,
     /// Corner the case ran on.
     pub corner: &'static str,
     /// Seed that generated the diverging trace.
@@ -225,29 +227,31 @@ pub struct FuzzFailure {
 }
 
 /// Outcome of a fuzz campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FuzzReport {
     /// Cases executed.
     pub cases: u64,
     /// Corner geometries rotated through.
     pub corners: usize,
-    /// Every diverging case, minimized.
+    /// Every diverging case, minimized, in global case order.
     pub failures: Vec<FuzzFailure>,
 }
 
-/// Runs `cases` seeded differential cases, round-robin across
-/// [`corner_geometries`], deriving per-case seeds from `base_seed`.
-/// Every divergence is minimized before it is reported.
-pub fn fuzz(cases: u64, base_seed: u64) -> FuzzReport {
+/// Runs the contiguous case range `[lo, hi)` of a campaign seeded with
+/// `base_seed`. Corner rotation, per-case seeds and shrinking depend only
+/// on the *global* case index, so a range's results are identical whether
+/// it runs inside a serial sweep or on a pool shard.
+fn fuzz_range(lo: u64, hi: u64, base_seed: u64) -> Vec<FuzzFailure> {
     let corners = corner_geometries();
     let mut failures = Vec::new();
-    for i in 0..cases {
+    for i in lo..hi {
         let corner = &corners[(i % corners.len() as u64) as usize];
         let seed = base_seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let ops = generate(seed, &corner.spec);
         if let Some(divergence) = run_case(&corner.cfg, &ops) {
             let minimized = shrink(&corner.cfg, &ops);
             failures.push(FuzzFailure {
+                case: i,
                 corner: corner.name,
                 seed,
                 divergence,
@@ -255,9 +259,52 @@ pub fn fuzz(cases: u64, base_seed: u64) -> FuzzReport {
             });
         }
     }
+    failures
+}
+
+/// Runs `cases` seeded differential cases, round-robin across
+/// [`corner_geometries`], deriving per-case seeds from `base_seed`.
+/// Every divergence is minimized before it is reported.
+pub fn fuzz(cases: u64, base_seed: u64) -> FuzzReport {
+    fuzz_sharded(cases, base_seed, 1)
+}
+
+/// [`fuzz`], with the campaign split into `shards` contiguous case
+/// ranges executed on scoped worker threads.
+///
+/// Each case derives its seed and corner from its global index exactly as
+/// the serial sweep does, each shard shrinks its own failures, and shard
+/// results are concatenated in shard (= case) order — so the report is
+/// byte-identical to `fuzz(cases, base_seed)` for any shard count.
+pub fn fuzz_sharded(cases: u64, base_seed: u64, shards: u64) -> FuzzReport {
+    let corners = corner_geometries().len();
+    let shards = shards.clamp(1, cases.max(1));
+    let per_shard = cases.div_ceil(shards);
+    let mut failures = Vec::new();
+    if shards <= 1 {
+        failures = fuzz_range(0, cases, base_seed);
+    } else {
+        let ranges: Vec<(u64, u64)> = (0..shards)
+            .map(|s| ((s * per_shard).min(cases), ((s + 1) * per_shard).min(cases)))
+            .filter(|(lo, hi)| lo < hi)
+            .collect();
+        let mut shard_results: Vec<Vec<FuzzFailure>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .iter()
+                .map(|&(lo, hi)| scope.spawn(move || fuzz_range(lo, hi, base_seed)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fuzz shard panicked"))
+                .collect()
+        });
+        for shard in &mut shard_results {
+            failures.append(shard);
+        }
+    }
     FuzzReport {
         cases,
-        corners: corners.len(),
+        corners,
         failures,
     }
 }

@@ -26,7 +26,9 @@
 //!   handful of operations fit for checking in as a regression test.
 //! * [`fuzz`] round-robins seeded cases across [`corner_geometries`] —
 //!   paper-shape, direct-mapped, fully-associative, parallel-search,
-//!   tight-buffer, slack, rounded-tick and zero-rate-fault corners.
+//!   tight-buffer, slack, rounded-tick and zero-rate-fault corners;
+//!   [`fuzz_sharded`] splits the same campaign into contiguous case
+//!   ranges on worker threads and merges a byte-identical report.
 //!
 //! The oracle deliberately models the *functional* architecture only:
 //! completion times (`ready_ns`) depend on the bank arbiter, which is a
@@ -44,7 +46,7 @@ mod shrink;
 mod trace_gen;
 
 pub use corner::{corner_geometries, Corner};
-pub use diff::{fuzz, run_case, Divergence, FuzzFailure, FuzzReport};
+pub use diff::{fuzz, fuzz_sharded, run_case, Divergence, FuzzFailure, FuzzReport};
 pub use model::OracleLlc;
 pub use shrink::shrink;
 pub use trace_gen::{format_trace, generate, Op, TraceSpec};

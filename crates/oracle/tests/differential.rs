@@ -6,7 +6,9 @@
 //! failure the diverging trace is minimized and printed as checkable
 //! `Op` literals.
 
-use sttgpu_oracle::{corner_geometries, format_trace, fuzz, generate, run_case, shrink};
+use sttgpu_oracle::{
+    corner_geometries, format_trace, fuzz, fuzz_sharded, generate, run_case, shrink,
+};
 
 #[test]
 fn oracle_matches_the_implementation_across_corner_geometries() {
@@ -40,5 +42,17 @@ fn fuzz_campaign_smoke_run_is_clean() {
             f.divergence,
             format_trace(&f.minimized)
         );
+    }
+}
+
+/// Sharding a campaign across worker threads must not change the report:
+/// per-case seeds and corners are functions of the global case index, and
+/// shard results merge back in case order.
+#[test]
+fn sharded_fuzz_report_is_identical_to_serial() {
+    let serial = fuzz(53, 0x5AD_5EED);
+    for shards in [1u64, 2, 3, 4, 8, 64, 1000] {
+        let sharded = fuzz_sharded(53, 0x5AD_5EED, shards);
+        assert_eq!(serial, sharded, "report diverged at shards={shards}");
     }
 }

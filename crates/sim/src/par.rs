@@ -1,0 +1,184 @@
+//! Persistent worker pool for stepping SMs in parallel.
+//!
+//! The driver shards the SM vector into contiguous runs and ships each
+//! run (by value — `Sm` owns all the state a step touches) to a
+//! long-lived worker thread over a channel; the main thread steps shard 0
+//! itself, then collects the shards back and reassembles the vector in id
+//! order. No `unsafe`, no shared mutable state: the only things crossing
+//! threads are moved `Vec<Sm>`s and plain result counters.
+//!
+//! Determinism does not depend on the pool at all — workers only mutate
+//! SM-local state, and everything order-sensitive (memory requests, dirty
+//! victims, trace events) is parked inside each `Sm` until the driver's
+//! merge phase replays it in canonical order. The pool exists purely to
+//! overlap the per-SM issue work; see DESIGN.md §11.
+
+use std::sync::mpsc::{Receiver, RecvError, Sender, TryRecvError};
+use std::thread::JoinHandle;
+
+use crate::sm::Sm;
+
+/// One parcel of work: a contiguous run of SMs to step for one cycle.
+struct Job {
+    shard: usize,
+    sms: Vec<Sm>,
+    cycle: u64,
+    now_ns: u64,
+}
+
+/// A stepped shard on its way back to the driver.
+struct Done {
+    shard: usize,
+    sms: Vec<Sm>,
+    blocks_retired: u32,
+    next_wake: u64,
+}
+
+/// Bounded busy-wait before falling back to a blocking receive. Cycles
+/// are short, so the next job usually arrives within the spin window on a
+/// multi-core host; on a single-core host the early fallback to `recv`
+/// yields the timeslice back to whichever thread holds the work.
+const SPIN_TRIES: u32 = 128;
+
+fn recv_spin(rx: &Receiver<Job>) -> Result<Job, RecvError> {
+    for _ in 0..SPIN_TRIES {
+        match rx.try_recv() {
+            Ok(job) => return Ok(job),
+            Err(TryRecvError::Empty) => std::hint::spin_loop(),
+            Err(TryRecvError::Disconnected) => return Err(RecvError),
+        }
+    }
+    rx.recv()
+}
+
+/// Steps every SM in `sms`, accumulating retirements and the minimum wake
+/// cycle. Shared by the workers and the main thread's shard-0 pass.
+fn step_shard(sms: &mut [Sm], cycle: u64, now_ns: u64) -> (u32, u64) {
+    let mut blocks_retired = 0;
+    let mut next_wake = u64::MAX;
+    for sm in sms {
+        let out = sm.step(cycle, now_ns);
+        blocks_retired += out.blocks_retired;
+        next_wake = next_wake.min(out.next_wake);
+    }
+    (blocks_retired, next_wake)
+}
+
+fn worker_loop(jobs: Receiver<Job>, results: Sender<Done>) {
+    while let Ok(mut job) = recv_spin(&jobs) {
+        let (blocks_retired, next_wake) = step_shard(&mut job.sms, job.cycle, job.now_ns);
+        let done = Done {
+            shard: job.shard,
+            sms: job.sms,
+            blocks_retired,
+            next_wake,
+        };
+        if results.send(done).is_err() {
+            break;
+        }
+    }
+}
+
+/// A persistent pool of `workers` threads plus the calling thread.
+///
+/// Created lazily on the first parallel cycle and reused for the rest of
+/// the run; dropping it disconnects the job channels, which the workers
+/// observe as shutdown.
+pub struct SmPool {
+    job_txs: Vec<Sender<Job>>,
+    results: Receiver<Done>,
+    handles: Vec<JoinHandle<()>>,
+    /// Per-shard scratch vectors, kept to preserve their capacity between
+    /// cycles (shard reassembly via `Vec::append` leaves them empty but
+    /// allocated).
+    shard_bufs: Vec<Vec<Sm>>,
+}
+
+impl std::fmt::Debug for SmPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl SmPool {
+    /// A pool with `workers` background threads (total parallelism is
+    /// `workers + 1`: the caller steps the first shard itself).
+    pub fn new(workers: usize) -> Self {
+        let (result_tx, results) = std::sync::mpsc::channel();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (job_tx, job_rx) = std::sync::mpsc::channel();
+            let result_tx = result_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sm-worker-{i}"))
+                .spawn(move || worker_loop(job_rx, result_tx))
+                .expect("spawning SM worker thread");
+            job_txs.push(job_tx);
+            handles.push(handle);
+        }
+        SmPool {
+            job_txs,
+            results,
+            handles,
+            shard_bufs: (0..workers + 1).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Background worker count.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Steps every SM for one cycle across the pool and returns the total
+    /// blocks retired and the minimum next wake cycle. `sms` comes back
+    /// in its original id order with every SM stepped exactly once.
+    pub fn step(&mut self, sms: &mut Vec<Sm>, cycle: u64, now_ns: u64) -> (u32, u64) {
+        let shards = self.handles.len() + 1;
+        let chunk = sms.len().div_ceil(shards);
+        {
+            let mut drain = sms.drain(..);
+            for buf in &mut self.shard_bufs {
+                buf.extend(drain.by_ref().take(chunk));
+            }
+        }
+        let mut in_flight = 0;
+        for (i, tx) in self.job_txs.iter().enumerate() {
+            let shard = i + 1;
+            if self.shard_bufs[shard].is_empty() {
+                continue;
+            }
+            let job = Job {
+                shard,
+                sms: std::mem::take(&mut self.shard_bufs[shard]),
+                cycle,
+                now_ns,
+            };
+            tx.send(job).expect("SM worker alive");
+            in_flight += 1;
+        }
+        let (mut blocks_retired, mut next_wake) =
+            step_shard(&mut self.shard_bufs[0], cycle, now_ns);
+        for _ in 0..in_flight {
+            let done = self.results.recv().expect("SM worker alive");
+            blocks_retired += done.blocks_retired;
+            next_wake = next_wake.min(done.next_wake);
+            self.shard_bufs[done.shard] = done.sms;
+        }
+        for buf in &mut self.shard_bufs {
+            sms.append(buf);
+        }
+        (blocks_retired, next_wake)
+    }
+}
+
+impl Drop for SmPool {
+    fn drop(&mut self) {
+        self.job_txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

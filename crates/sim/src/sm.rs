@@ -22,6 +22,105 @@ use crate::warp::Warp;
 /// Replay delay after an MSHR-full stall, cycles.
 const MSHR_RETRY_CYCLES: u64 = 8;
 
+/// One memory request an SM issued during a cycle, recorded instead of
+/// applied. `now_ns` is the issue timestamp; replaying the batch through
+/// [`RequestBatch::drain_into`] reproduces the inline
+/// `read_request`/`write_request` calls exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BatchedRequest {
+    byte_addr: u64,
+    now_ns: u64,
+    write: bool,
+}
+
+/// A per-SM accumulator of one cycle's memory requests.
+///
+/// This is the decoupling boundary that makes the per-cycle SM loop
+/// embarrassingly parallel: [`Sm::step`] never touches the shared
+/// `MemSystem`; it records requests here (in issue order) and the driver
+/// later drains every SM's batch in canonical SM-id order. Replaying a
+/// batch is byte-equivalent to the old inline calls because `MemSystem`
+/// request entry points return nothing the SM could have observed.
+#[derive(Debug, Default)]
+pub struct RequestBatch {
+    ops: Vec<BatchedRequest>,
+}
+
+impl RequestBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        RequestBatch::default()
+    }
+
+    /// Records a read issued at `now_ns`.
+    pub fn push_read(&mut self, byte_addr: u64, now_ns: u64) {
+        self.ops.push(BatchedRequest {
+            byte_addr,
+            now_ns,
+            write: false,
+        });
+    }
+
+    /// Records a write issued at `now_ns`.
+    pub fn push_write(&mut self, byte_addr: u64, now_ns: u64) {
+        self.ops.push(BatchedRequest {
+            byte_addr,
+            now_ns,
+            write: true,
+        });
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replays the batch into `mem` as SM `sm`, in issue order, leaving
+    /// the batch empty with its capacity intact for the next cycle.
+    pub fn drain_into(&mut self, sm: u32, mem: &mut MemSystem) {
+        for op in self.ops.drain(..) {
+            if op.write {
+                mem.write_request(sm, op.byte_addr, op.now_ns);
+            } else {
+                mem.read_request(sm, op.byte_addr, op.now_ns);
+            }
+        }
+    }
+}
+
+/// A dirty L1 victim displaced by a fill, waiting for the merge phase.
+///
+/// `seq` is the victim's global fill index within the tick (the position
+/// of the fill that displaced it in `MemSystem::tick`'s output), which is
+/// exactly the order the serial driver used to write victims back in —
+/// sorting by `seq` restores it regardless of which thread produced the
+/// victim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimWb {
+    /// Global fill index within the tick that displaced this line.
+    pub seq: u64,
+    /// Owning SM id.
+    pub sm: u32,
+    /// Victim line address.
+    pub byte_addr: u64,
+    /// Timestamp of the displacing fill.
+    pub now_ns: u64,
+}
+
+/// What one [`Sm::step`] call produced, for the driver to aggregate.
+#[derive(Debug, Clone, Copy)]
+pub struct StepOutcome {
+    /// Thread blocks that retired this cycle (fills + issue).
+    pub blocks_retired: u32,
+    /// Earliest cycle any queued warp can issue (`u64::MAX` when none).
+    pub next_wake: u64,
+}
+
 /// One ready-queue entry. `ready_at` and `age` are copied out of the warp
 /// at enqueue time — both are immutable while the warp sits in the queue —
 /// so scheduler scans stay inside the deque's contiguous storage instead
@@ -31,6 +130,14 @@ struct ReadyEntry {
     slot: u32,
     ready_at: u64,
     age: u64,
+}
+
+/// One fill delivery parked in an SM's inbox until its next step.
+#[derive(Debug, Clone, Copy)]
+struct PendingFill {
+    /// Global fill index within the tick (victim ordering key).
+    seq: u64,
+    byte_addr: u64,
 }
 
 /// One streaming multiprocessor.
@@ -66,6 +173,13 @@ pub struct Sm {
     greedy_parked: bool,
     /// Monotone launch counter assigning warp ages.
     age_counter: u64,
+    /// This cycle's recorded memory requests (drained by the merge phase).
+    batch: RequestBatch,
+    /// Fill deliveries routed here by the driver before [`step`](Sm::step).
+    inbox: Vec<PendingFill>,
+    /// Dirty L1 victims displaced by this cycle's fills (drained by the
+    /// merge phase, ordered globally by [`VictimWb::seq`]).
+    victims: Vec<VictimWb>,
     /// Thread instructions committed.
     pub instructions: u64,
     /// Cycles with no issuable warp.
@@ -95,6 +209,9 @@ impl Sm {
             greedy: None,
             greedy_parked: false,
             age_counter: 0,
+            batch: RequestBatch::new(),
+            inbox: Vec::new(),
+            victims: Vec::new(),
             instructions: 0,
             idle_cycles: 0,
             mshr_stalls: 0,
@@ -271,12 +388,57 @@ impl Sm {
         }
     }
 
-    /// Delivers an L1 fill response, waking warps. Returns the number of
+    /// Parks one fill delivery in the inbox; [`step`](Sm::step) applies it.
+    pub fn push_fill(&mut self, seq: u64, byte_addr: u64) {
+        self.inbox.push(PendingFill { seq, byte_addr });
+    }
+
+    /// Runs this SM for one cycle without touching the shared memory
+    /// system: applies parked fills, then gates and issues exactly as the
+    /// serial driver did. Requests land in the [`RequestBatch`] and dirty
+    /// fill victims in the victim list; the driver drains both in the
+    /// merge phase. Safe to call from a worker thread.
+    pub fn step(&mut self, cycle: u64, now_ns: u64) -> StepOutcome {
+        let mut blocks_retired = 0;
+        for i in 0..self.inbox.len() {
+            let fill = self.inbox[i];
+            blocks_retired += self.apply_fill(fill.seq, fill.byte_addr, now_ns);
+        }
+        self.inbox.clear();
+        match self.next_ready_cycle() {
+            Some(ready) if ready <= cycle => {
+                blocks_retired += self.issue_cycle(cycle, now_ns);
+            }
+            _ => self.count_idle(1),
+        }
+        StepOutcome {
+            blocks_retired,
+            next_wake: self.next_ready,
+        }
+    }
+
+    /// Moves this cycle's dirty fill victims onto `out` (capacity kept).
+    pub fn drain_victims_into(&mut self, out: &mut Vec<VictimWb>) {
+        out.append(&mut self.victims);
+    }
+
+    /// Replays this cycle's recorded memory requests into `mem`, in issue
+    /// order. Called by the merge phase in canonical SM-id order.
+    pub fn drain_requests_into(&mut self, mem: &mut MemSystem) {
+        self.batch.drain_into(self.id, mem);
+    }
+
+    /// Applies an L1 fill response, waking warps. Returns the number of
     /// blocks that retired as a result.
-    pub fn deliver_fill(&mut self, byte_addr: u64, now_ns: u64, mem: &mut MemSystem) -> u32 {
+    fn apply_fill(&mut self, seq: u64, byte_addr: u64, now_ns: u64) -> u32 {
         let (tokens, dirty_victim) = self.l1.fill(byte_addr, now_ns);
         if let Some(victim_addr) = dirty_victim {
-            mem.write_request(self.id, victim_addr, now_ns);
+            self.victims.push(VictimWb {
+                seq,
+                sm: self.id,
+                byte_addr: victim_addr,
+                now_ns,
+            });
         }
         let mut blocks_retired = 0;
         for token in tokens {
@@ -302,19 +464,13 @@ impl Sm {
 
     /// Executes one instruction's memory reads. Returns `(misses_issued,
     /// true)` on success or `(partial, false)` on an MSHR-full abort.
-    fn issue_reads(
-        &mut self,
-        slot: usize,
-        addrs: &[u64],
-        mem: &mut MemSystem,
-        now_ns: u64,
-    ) -> (u32, bool) {
+    fn issue_reads(&mut self, slot: usize, addrs: &[u64], now_ns: u64) -> (u32, bool) {
         let mut misses = 0;
         for &addr in addrs {
             match self.l1.read(addr, slot as u64, now_ns) {
                 L1ReadOutcome::Hit => {}
                 L1ReadOutcome::MissIssued => {
-                    mem.read_request(self.id, addr, now_ns);
+                    self.batch.push_read(addr, now_ns);
                     misses += 1;
                 }
                 L1ReadOutcome::MissMerged => {
@@ -392,7 +548,7 @@ impl Sm {
     }
 
     /// Runs one cycle of issue. Returns the number of blocks retired.
-    pub fn cycle(&mut self, mem: &mut MemSystem, cycle: u64, now_ns: u64) -> u32 {
+    fn issue_cycle(&mut self, cycle: u64, now_ns: u64) -> u32 {
         let mut blocks_retired = 0;
         let mut issued = 0u32;
         let mut issued_any = false;
@@ -427,7 +583,7 @@ impl Sm {
                 WarpInstr::MemWrite(addrs) => {
                     for &addr in &addrs {
                         self.l1.write(addr, now_ns);
-                        mem.write_request(self.id, addr, now_ns);
+                        self.batch.push_write(addr, now_ns);
                     }
                     self.instructions += self.warp_size as u64;
                     let dep = self.dep_interval;
@@ -440,7 +596,7 @@ impl Sm {
                     // stays in L1; only displaced dirty lines reach L2.
                     for &addr in &addrs {
                         if let Some(victim) = self.l1.write_local(addr, now_ns) {
-                            mem.write_request(self.id, victim, now_ns);
+                            self.batch.push_write(victim, now_ns);
                         }
                     }
                     self.instructions += self.warp_size as u64;
@@ -450,7 +606,7 @@ impl Sm {
                     self.enqueue(slot);
                 }
                 WarpInstr::MemRead(addrs) | WarpInstr::LocalRead(addrs) => {
-                    let (misses, ok) = self.issue_reads(slot, &addrs, mem, now_ns);
+                    let (misses, ok) = self.issue_reads(slot, &addrs, now_ns);
                     let max_pending = self.max_pending;
                     let warp = self.warps[slot].as_mut().expect("live");
                     warp.pending_loads += misses;
@@ -512,17 +668,26 @@ mod tests {
         (Sm::new(&cfg, 0), MemSystem::new(&cfg), Arc::new(kernel))
     }
 
-    /// Runs the SM until idle, delivering memory responses.
+    /// Runs the SM until idle, delivering memory responses through the
+    /// same batch/inbox/merge protocol the `Gpu` driver uses.
     fn run_to_completion(sm: &mut Sm, mem: &mut MemSystem, max_cycles: u64) -> u32 {
         let mut retired = 0;
         let mut fills = Vec::new();
+        let mut victims = Vec::new();
         for cycle in 0..max_cycles {
             let now_ns = cycle * 5 / 7;
             mem.tick(now_ns, &mut fills);
-            for &fill in &fills {
-                retired += sm.deliver_fill(fill.byte_addr, now_ns, mem);
+            for (seq, fill) in fills.iter().enumerate() {
+                sm.push_fill(seq as u64, fill.byte_addr);
             }
-            retired += sm.cycle(mem, cycle, now_ns);
+            retired += sm.step(cycle, now_ns).blocks_retired;
+            victims.clear();
+            sm.drain_victims_into(&mut victims);
+            victims.sort_unstable_by_key(|v| v.seq);
+            for v in &victims {
+                mem.write_request(v.sm, v.byte_addr, v.now_ns);
+            }
+            sm.drain_requests_into(mem);
             if sm.is_idle() && mem.is_idle() {
                 return retired;
             }

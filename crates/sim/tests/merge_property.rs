@@ -1,0 +1,213 @@
+//! Property test for the request-merge phase.
+//!
+//! The parallel driver's determinism rests on one claim: recording each
+//! SM's memory requests into a private `RequestBatch` during the step
+//! phase and replaying the batches in canonical SM-id order afterwards is
+//! indistinguishable from the serial driver's inline
+//! `read_request`/`write_request` calls — no matter how batch
+//! construction was interleaved across SMs (i.e. no matter how worker
+//! threads were scheduled).
+//!
+//! This harness drives two `MemSystem`s with the same randomly generated
+//! per-SM request streams: one through the serial inline path in
+//! canonical order, one through batches filled in a *randomized*
+//! cross-SM interleaving and merged in SM-id order. Every tick the fill
+//! deliveries must match, and at the end the full trace event streams,
+//! LLC summaries and DRAM counters must be identical.
+
+use std::sync::{Arc, Mutex};
+
+use sttgpu_core::LlcModel;
+use sttgpu_sim::mem::{FillDelivery, MemSystem};
+use sttgpu_sim::{GpuConfig, L2ModelConfig, RequestBatch};
+use sttgpu_stats::Rng;
+use sttgpu_trace::{Trace, VecSink};
+
+const LINE: u64 = 128;
+
+fn base_cfg(num_sms: u32, two_part: bool) -> GpuConfig {
+    let mut cfg = GpuConfig::gtx480();
+    cfg.num_sms = num_sms as usize;
+    cfg.l2 = if two_part {
+        L2ModelConfig::TwoPart(sttgpu_core::TwoPartConfig::new(8, 2, 56, 7, 256))
+    } else {
+        L2ModelConfig::Sram {
+            kb: 64,
+            ways: 8,
+            banks: 4,
+        }
+    };
+    cfg
+}
+
+/// One SM's requests for one cycle, in issue order.
+type CycleOps = Vec<(u64, bool)>;
+
+fn gen_cycle_ops(rng: &mut Rng, num_sms: u32, footprint_lines: u64) -> Vec<CycleOps> {
+    (0..num_sms)
+        .map(|_| {
+            let n = rng.range_u32(0, 5);
+            (0..n)
+                .map(|_| {
+                    let addr = rng.range_u64(0, footprint_lines) * LINE;
+                    let write = rng.range_f64(0.0, 1.0) < 0.4;
+                    (addr, write)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn tick_and_compare(
+    mem_a: &mut MemSystem,
+    mem_b: &mut MemSystem,
+    now_ns: u64,
+    fills_a: &mut Vec<FillDelivery>,
+    fills_b: &mut Vec<FillDelivery>,
+    label: &str,
+) {
+    mem_a.tick(now_ns, fills_a);
+    mem_b.tick(now_ns, fills_b);
+    assert_eq!(fills_a, fills_b, "[{label}] fill deliveries diverged");
+}
+
+fn run_case(seed: u64, num_sms: u32, two_part: bool, cycles: u64) {
+    let label = format!("seed={seed} sms={num_sms} two_part={two_part}");
+    let cfg = base_cfg(num_sms, two_part);
+
+    let sink_a = Arc::new(Mutex::new(VecSink::new()));
+    let sink_b = Arc::new(Mutex::new(VecSink::new()));
+    let mut mem_a = MemSystem::new(&cfg);
+    let mut mem_b = MemSystem::new(&cfg);
+    mem_a.set_trace(Trace::to_sink(Arc::clone(&sink_a)));
+    mem_b.set_trace(Trace::to_sink(Arc::clone(&sink_b)));
+
+    let mut batches: Vec<RequestBatch> = (0..num_sms).map(|_| RequestBatch::new()).collect();
+    let mut rng = Rng::new(seed);
+    let mut shuffle_rng = Rng::new(seed ^ 0xBA7C_4ED0);
+    let (mut fills_a, mut fills_b) = (Vec::new(), Vec::new());
+
+    for cycle in 0..cycles {
+        let now_ns = cfg.ns_of_cycle(cycle);
+        tick_and_compare(
+            &mut mem_a,
+            &mut mem_b,
+            now_ns,
+            &mut fills_a,
+            &mut fills_b,
+            &label,
+        );
+
+        let ops = gen_cycle_ops(&mut rng, num_sms, 4096);
+
+        // Path A: the serial inline driver — each SM's requests applied
+        // directly, SMs visited in id order.
+        for (sm, sm_ops) in ops.iter().enumerate() {
+            for &(addr, write) in sm_ops {
+                if write {
+                    mem_a.write_request(sm as u32, addr, now_ns);
+                } else {
+                    mem_a.read_request(sm as u32, addr, now_ns);
+                }
+            }
+        }
+
+        // Path B: batches filled in a random cross-SM interleaving (each
+        // SM's own issue order preserved — that is what concurrent step
+        // scheduling can and cannot reorder), merged in SM-id order.
+        let mut cursors = vec![0usize; num_sms as usize];
+        let mut remaining: Vec<usize> = (0..num_sms as usize)
+            .filter(|&sm| !ops[sm].is_empty())
+            .collect();
+        while !remaining.is_empty() {
+            let pick = shuffle_rng.range_usize(0, remaining.len());
+            let sm = remaining[pick];
+            let (addr, write) = ops[sm][cursors[sm]];
+            if write {
+                batches[sm].push_write(addr, now_ns);
+            } else {
+                batches[sm].push_read(addr, now_ns);
+            }
+            cursors[sm] += 1;
+            if cursors[sm] == ops[sm].len() {
+                remaining.swap_remove(pick);
+            }
+        }
+        for (sm, batch) in batches.iter_mut().enumerate() {
+            batch.drain_into(sm as u32, &mut mem_b);
+            assert!(batch.is_empty(), "[{label}] drain must empty the batch");
+        }
+    }
+
+    // Drain both systems to idle, still comparing deliveries tick by tick.
+    let mut cycle = cycles;
+    while !(mem_a.is_idle() && mem_b.is_idle()) {
+        assert!(
+            cycle < cycles + 2_000_000,
+            "[{label}] memory systems failed to drain"
+        );
+        let now_ns = cfg.ns_of_cycle(cycle);
+        tick_and_compare(
+            &mut mem_a,
+            &mut mem_b,
+            now_ns,
+            &mut fills_a,
+            &mut fills_b,
+            &label,
+        );
+        cycle += 1;
+    }
+
+    assert_eq!(
+        mem_a.llc().summary(),
+        mem_b.llc().summary(),
+        "[{label}] LLC summaries diverged"
+    );
+    assert_eq!(
+        mem_a.llc().energy(),
+        mem_b.llc().energy(),
+        "[{label}] LLC energy ledgers diverged"
+    );
+    assert_eq!(
+        (mem_a.dram_reads, mem_a.dram_writes, mem_a.dram_row_hits),
+        (mem_b.dram_reads, mem_b.dram_writes, mem_b.dram_row_hits),
+        "[{label}] DRAM counters diverged"
+    );
+    assert_eq!(
+        (mem_a.read_hit_latency_sum_ns, mem_a.read_hit_count),
+        (mem_b.read_hit_latency_sum_ns, mem_b.read_hit_count),
+        "[{label}] read-hit latency accounting diverged"
+    );
+
+    let trace_a = sink_a.lock().unwrap().take();
+    let trace_b = sink_b.lock().unwrap().take();
+    assert_eq!(
+        trace_a.len(),
+        trace_b.len(),
+        "[{label}] trace stream lengths diverged"
+    );
+    for (i, (a, b)) in trace_a.iter().zip(&trace_b).enumerate() {
+        assert_eq!(a, b, "[{label}] trace diverged at event {i}");
+    }
+}
+
+#[test]
+fn batched_merge_matches_inline_two_part() {
+    for seed in 0..6 {
+        run_case(0x4D45_5247 + seed, 4, true, 400);
+    }
+}
+
+#[test]
+fn batched_merge_matches_inline_sram() {
+    for seed in 0..6 {
+        run_case(0x5241_4D00 + seed, 4, false, 400);
+    }
+}
+
+#[test]
+fn batched_merge_matches_inline_corner_sm_counts() {
+    for &num_sms in &[1u32, 2, 3, 8, 15] {
+        run_case(0xC0_u64 + num_sms as u64, num_sms, true, 250);
+    }
+}

@@ -21,11 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Which physical part of the LLC an event concerns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -321,9 +320,14 @@ pub trait EventSink {
 /// what keeps the instrumented hot paths free in normal runs. Clones
 /// share the underlying sink, so one checker observes a whole [`Gpu`].
 ///
+/// The sink is behind `Arc<Mutex<_>>` (rather than `Rc<RefCell<_>>`) so
+/// handle owners — in particular `Sm` — are `Send` and can be stepped on
+/// worker threads. The parallel driver gives each SM a private buffering
+/// sink, so the lock is uncontended in practice.
+///
 /// [`Gpu`]: ../sttgpu_sim/struct.Gpu.html
 #[derive(Clone, Default)]
-pub struct Trace(Option<Rc<RefCell<dyn EventSink>>>);
+pub struct Trace(Option<Arc<Mutex<dyn EventSink + Send>>>);
 
 impl fmt::Debug for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -340,7 +344,7 @@ impl Trace {
     }
 
     /// A handle forwarding every event to `sink`.
-    pub fn to_sink<S: EventSink + 'static>(sink: Rc<RefCell<S>>) -> Self {
+    pub fn to_sink<S: EventSink + Send + 'static>(sink: Arc<Mutex<S>>) -> Self {
         Trace(Some(sink))
     }
 
@@ -360,12 +364,12 @@ impl Trace {
 
     /// Outlined delivery path. Kept cold and non-generic so the disabled
     /// branch in `emit` compiles down to a single load-and-compare in the
-    /// simulation hot loops instead of dragging the borrow + dynamic
+    /// simulation hot loops instead of dragging the lock + dynamic
     /// dispatch machinery into every caller.
     #[cold]
     #[inline(never)]
-    fn forward(sink: &Rc<RefCell<dyn EventSink>>, event: TraceEvent) {
-        sink.borrow_mut().emit(&event);
+    fn forward(sink: &Arc<Mutex<dyn EventSink + Send>>, event: TraceEvent) {
+        sink.lock().expect("trace sink poisoned").emit(&event);
     }
 }
 
@@ -389,6 +393,13 @@ impl VecSink {
     /// Takes (and clears) the recorded events.
     pub fn take(&mut self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Moves the recorded events onto the end of `out`, leaving this sink
+    /// empty but with its capacity intact. Used by the per-SM trace
+    /// buffers, which drain every visited cycle and must not reallocate.
+    pub fn take_into(&mut self, out: &mut Vec<TraceEvent>) {
+        out.append(&mut self.events);
     }
 }
 
@@ -1053,11 +1064,14 @@ mod tests {
 
     #[test]
     fn enabled_trace_records() {
-        let sink = Rc::new(RefCell::new(VecSink::new()));
-        let t = Trace::to_sink(Rc::clone(&sink));
+        let sink = Arc::new(Mutex::new(VecSink::new()));
+        let t = Trace::to_sink(Arc::clone(&sink));
         assert!(t.is_enabled());
         t.emit(|| TraceEvent::ResetMeasurement);
-        assert_eq!(sink.borrow().events(), &[TraceEvent::ResetMeasurement]);
+        assert_eq!(
+            sink.lock().unwrap().events(),
+            &[TraceEvent::ResetMeasurement]
+        );
     }
 
     #[test]
