@@ -6,8 +6,10 @@
 #                      # parallel executor end to end, a --check run with
 #                      # the runtime invariant checker attached, a perf
 #                      # canary against the checked-in throughput
-#                      # baseline, and a budgeted differential fuzz pass
-#                      # vs the oracle
+#                      # baseline, a budgeted differential fuzz pass vs
+#                      # the oracle (corner geometries + scenario
+#                      # families), a checked scenario run, and a
+#                      # record -> trace file -> replay round trip
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -36,8 +38,17 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "==> repro perf canary (fixed workload vs results/BENCH_repro.json baseline)"
     ./target/release/repro --canary > /dev/null
 
-    echo "==> repro differential fuzz vs the oracle (50000 cases, seed 7, 4 shards)"
+    echo "==> repro differential fuzz vs the oracle (50000 cases, seed 7, 4 shards; corners + scenarios)"
     ./target/release/repro --fuzz 50000 --fuzz-seed 7 --sim-threads 4 > /dev/null
+
+    echo "==> repro scenario run (zipf-hot:7, --check)"
+    ./target/release/repro --scenario zipf-hot:7 --check > /dev/null
+
+    echo "==> repro record/replay round trip (nw @ 0.05 -> trace file -> --check replay)"
+    trace_tmp="$(mktemp -t sttgpu-smoke-XXXXXX.trc)"
+    trap 'rm -f "$trace_tmp"' EXIT
+    ./target/release/repro --record nw --trace-out "$trace_tmp" --scale 0.05 > /dev/null
+    ./target/release/repro --trace "$trace_tmp" --check > /dev/null
 fi
 
 echo "CI OK"

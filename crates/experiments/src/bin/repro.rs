@@ -76,7 +76,10 @@ fn usage() -> ExitCode {
         "usage: repro [--quick] [--scale F] [--jobs N] [--sim-threads T] [--out DIR] \
          [--check] [--faults RATE] [--fault-seed N] [--resume] <all|{}> ...\n\
          \x20      repro --fuzz N [--fuzz-seed S] [--sim-threads T]  # differential fuzz vs the oracle\n\
-         \x20      repro --canary [--out DIR]       # perf canary vs checked-in baseline",
+         \x20      repro --canary [--out DIR]       # perf canary vs checked-in baseline\n\
+         \x20      repro --scenario NAME[:seed] [--check]   # scenario family vs oracle + C1 replay ('list' lists)\n\
+         \x20      repro --trace FILE [--check]     # replay a trace file against the C1 geometry\n\
+         \x20      repro --record WORKLOAD --trace-out FILE [--scale F] [--sim-threads T]  # dump a workload's LLC call stream",
         ARTEFACTS.join("|")
     );
     ExitCode::FAILURE
@@ -219,14 +222,17 @@ fn run_canary(out_dir: Option<&Path>) -> ExitCode {
 }
 
 /// Differential fuzz mode: `N` seeded traces through implementation and
-/// oracle, round-robin over the corner geometries. Divergences are
-/// minimized and printed; any divergence fails the run.
+/// oracle, round-robin over the corner geometries, odd case indices
+/// drawn from the scenario families instead of the corners' own specs.
+/// Divergences are minimized and printed; any divergence fails the run.
 fn run_fuzz(cases: u64, seed: u64, shards: u64) -> ExitCode {
     let corners = sttgpu_oracle::corner_geometries();
+    let families = sttgpu_oracle::scenario_families();
     eprintln!(
-        "# repro --fuzz: {cases} cases over {} corner geometries, base seed {seed}, \
-         {shards} shard(s)",
-        corners.len()
+        "# repro --fuzz: {cases} cases over {} corner geometries (odd cases drawn from \
+         {} scenario families), base seed {seed}, {shards} shard(s)",
+        corners.len(),
+        families.len()
     );
     let started = Instant::now();
     let report = sttgpu_oracle::fuzz_sharded(cases, seed, shards);
@@ -236,11 +242,23 @@ fn run_fuzz(cases: u64, seed: u64, shards: u64) -> ExitCode {
             .iter()
             .filter(|f| f.corner == corner.name)
             .count();
-        eprintln!("#   {:<18} {failed} divergence(s)", corner.name);
+        eprintln!("#   corner   {:<16} {failed} divergence(s)", corner.name);
+    }
+    for fam in &families {
+        let failed = report
+            .failures
+            .iter()
+            .filter(|f| f.scenario == Some(fam.name))
+            .count();
+        eprintln!("#   scenario {:<16} {failed} divergence(s)", fam.name);
     }
     for f in &report.failures {
+        let scenario = f
+            .scenario
+            .map(|s| format!(" scenario {s}"))
+            .unwrap_or_default();
         println!(
-            "divergence [{} seed {:#x}]: {}",
+            "divergence [{}{scenario} seed {:#x}]: {}",
             f.corner, f.seed, f.divergence
         );
         println!(
@@ -260,6 +278,174 @@ fn run_fuzz(cases: u64, seed: u64, shards: u64) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Scenario mode: `--scenario NAME[:seed]` lowers one named scenario,
+/// differential-tests it across every corner geometry and replays it on
+/// the C1 geometry for a stats block. `--scenario list` lists the
+/// families. Any divergence (or checker violation under `--check`)
+/// fails the run.
+fn run_scenario_mode(arg: &str, check: bool) -> ExitCode {
+    if arg == "list" {
+        println!("scenario families (use --scenario NAME[:seed]):");
+        for fam in sttgpu_oracle::scenario_families() {
+            println!("  {:<16} {}", fam.name, fam.what);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let (name, seed) = match arg.split_once(':') {
+        Some((name, seed)) => match seed.parse::<u64>() {
+            Ok(seed) => (name, seed),
+            Err(_) => {
+                eprintln!("bad scenario seed in {arg:?} (want NAME or NAME:SEED)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => (arg, 7),
+    };
+    let exec = Executor::sequential();
+    let out = match exec.run_scenario(name, seed, check) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("(--scenario list shows the known families)");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# repro --scenario: {} ({} ops) across {} corner geometries, C1 replay to {} ns",
+        out.spec_name,
+        out.ops,
+        sttgpu_oracle::corner_geometries().len(),
+        out.replay.end_ns
+    );
+    println!("{}", sttgpu_experiments::render_stats(&out.replay.stats));
+    for (corner, d) in &out.divergences {
+        println!("divergence [{corner} scenario {}]: {d}", out.spec_name);
+    }
+    if let Some(report) = &out.replay.check {
+        if report.is_clean() {
+            eprintln!("# check passed: 0 invariant violations in the replay");
+        } else {
+            eprintln!(
+                "# CHECK FAILED: {} violation(s) in the replay",
+                report.violations
+            );
+            for s in &report.samples {
+                eprintln!("#   {s}");
+            }
+        }
+    }
+    if out.is_clean() {
+        eprintln!("# scenario {} clean", out.spec_name);
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Trace-replay mode: `--trace FILE` replays a trace file against the
+/// C1 geometry. Requests-mode traces additionally run the oracle
+/// differential (raw traces encode an exact call sequence the oracle's
+/// discipline cannot re-derive). Nonzero exit on divergence or checker
+/// violation.
+fn run_trace_mode(path: &Path, check: bool) -> ExitCode {
+    let (header, records) = match sttgpu_tracefile::load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot load {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mode = match header.mode {
+        sttgpu_tracefile::TraceMode::Requests => "requests",
+        sttgpu_tracefile::TraceMode::Raw => "raw",
+    };
+    eprintln!(
+        "# repro --trace: {} ({mode} mode, {} records, {} B lines) on the C1 geometry",
+        path.display(),
+        records.len(),
+        header.line_bytes
+    );
+    let cfg = sttgpu_experiments::configs::two_part_config(sttgpu_experiments::L2Choice::TwoPartC1)
+        .expect("C1 is two-part");
+    let replay = match sttgpu_experiments::replay_records(&cfg, &header, &records, check) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", sttgpu_experiments::render_stats(&replay.stats));
+    let mut failed = false;
+    if header.mode == sttgpu_tracefile::TraceMode::Requests {
+        let ops = match sttgpu_oracle::records_to_ops(&records) {
+            Ok(ops) => ops,
+            Err(e) => {
+                eprintln!("cannot interpret records as requests: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match sttgpu_oracle::run_case(&cfg, &ops) {
+            None => eprintln!("# differential vs the oracle: clean"),
+            Some(d) => {
+                println!("divergence [C1 trace {}]: {d}", path.display());
+                failed = true;
+            }
+        }
+    }
+    if let Some(report) = &replay.check {
+        if report.is_clean() {
+            eprintln!("# check passed: 0 invariant violations in the replay");
+        } else {
+            eprintln!(
+                "# CHECK FAILED: {} violation(s) in the replay",
+                report.violations
+            );
+            for s in &report.samples {
+                eprintln!("#   {s}");
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Record mode: `--record WORKLOAD --trace-out FILE` runs a built-in
+/// workload on C1 with the LLC call log on and saves the verbatim call
+/// stream as a raw-mode trace (text twin for `.txt`/`.text` paths).
+fn run_record_mode(workload: &str, out_path: &Path, plan: &RunPlan) -> ExitCode {
+    eprintln!(
+        "# repro --record: {workload} at scale {} on C1, call stream to {}",
+        plan.scale,
+        out_path.display()
+    );
+    let recording = match sttgpu_experiments::record_workload(
+        sttgpu_experiments::L2Choice::TwoPartC1,
+        workload,
+        plan,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = sttgpu_tracefile::save(out_path, recording.header, &recording.records) {
+        eprintln!("cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("{}", sttgpu_experiments::render_stats(&recording.stats));
+    eprintln!(
+        "# recorded {} LLC calls to {}",
+        recording.records.len(),
+        out_path.display()
+    );
+    ExitCode::SUCCESS
 }
 
 /// One journal line identifying a completed artefact under a plan. Bit
@@ -395,6 +581,10 @@ fn main() -> ExitCode {
     let mut fuzz_cases: Option<u64> = None;
     let mut fuzz_seed = 7u64;
     let mut canary = false;
+    let mut scenario: Option<String> = None;
+    let mut trace_in: Option<PathBuf> = None;
+    let mut record: Option<String> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -465,6 +655,30 @@ fn main() -> ExitCode {
                 };
                 fuzz_seed = n;
             }
+            "--scenario" => {
+                let Some(s) = args.next() else {
+                    return usage();
+                };
+                scenario = Some(s);
+            }
+            "--trace" => {
+                let Some(p) = args.next() else {
+                    return usage();
+                };
+                trace_in = Some(PathBuf::from(p));
+            }
+            "--record" => {
+                let Some(w) = args.next() else {
+                    return usage();
+                };
+                record = Some(w);
+            }
+            "--trace-out" => {
+                let Some(p) = args.next() else {
+                    return usage();
+                };
+                trace_out = Some(PathBuf::from(p));
+            }
             "-h" | "--help" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -472,9 +686,24 @@ fn main() -> ExitCode {
             other => targets.push(other.to_owned()),
         }
     }
+    let modes = [
+        canary,
+        fuzz_cases.is_some(),
+        scenario.is_some(),
+        trace_in.is_some(),
+        record.is_some(),
+    ];
+    if modes.iter().filter(|&&m| m).count() > 1 {
+        eprintln!("--canary, --fuzz, --scenario, --trace and --record are separate run modes");
+        return usage();
+    }
+    if trace_out.is_some() && record.is_none() {
+        eprintln!("--trace-out only makes sense with --record WORKLOAD");
+        return usage();
+    }
     if canary {
-        if !targets.is_empty() || fuzz_cases.is_some() {
-            eprintln!("--canary does not combine with artefact targets or --fuzz");
+        if !targets.is_empty() {
+            eprintln!("--canary does not combine with artefact targets");
             return usage();
         }
         return run_canary(out_dir.as_deref());
@@ -485,6 +714,32 @@ fn main() -> ExitCode {
             return usage();
         }
         return run_fuzz(cases, fuzz_seed, u64::from(sim_threads));
+    }
+    if let Some(arg) = scenario {
+        if !targets.is_empty() {
+            eprintln!("--scenario does not take artefact targets");
+            return usage();
+        }
+        return run_scenario_mode(&arg, check);
+    }
+    if let Some(workload) = record {
+        if !targets.is_empty() {
+            eprintln!("--record does not take artefact targets");
+            return usage();
+        }
+        let Some(out_path) = trace_out else {
+            eprintln!("--record needs --trace-out FILE");
+            return usage();
+        };
+        let plan = plan.with_sim_threads(sim_threads);
+        return run_record_mode(&workload, &out_path, &plan);
+    }
+    if let Some(path) = trace_in {
+        if !targets.is_empty() {
+            eprintln!("--trace does not take artefact targets");
+            return usage();
+        }
+        return run_trace_mode(&path, check);
     }
     if targets.is_empty() {
         return usage();

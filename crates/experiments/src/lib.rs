@@ -36,6 +36,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig8;
+pub mod replay;
 pub mod report;
 pub mod runner;
 pub mod table1;
@@ -44,4 +45,7 @@ pub mod workload_table;
 
 pub use configs::{gpu_config, L2Choice};
 pub use error::RunError;
+pub use replay::{
+    record_workload, render_stats, replay_records, Recording, ReplayOutput, ScenarioOutcome,
+};
 pub use runner::{Executor, ExecutorStats, FaultSpec, RunOutput, RunPlan};

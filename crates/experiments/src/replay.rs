@@ -1,0 +1,457 @@
+//! Trace-driven replay: driving a [`TwoPartLlc`] from a trace file or a
+//! generated scenario, without the SM front-end.
+//!
+//! Three entry points:
+//!
+//! * [`record_workload`] runs a built-in workload with the simulator's
+//!   LLC call log on and returns the verbatim probe/fill/maintain
+//!   stream as raw-mode trace records — replaying them through
+//!   [`replay_records`] reproduces the run's [`TwoPartStats`] bit for
+//!   bit, which is the property the record/replay equivalence test
+//!   pins.
+//! * [`replay_records`] replays either trace mode against a fresh LLC:
+//!   raw records are issued exactly as written; requests-mode records
+//!   run under the oracle's fill-on-miss discipline (maintenance swept
+//!   at the cadence, miss filled immediately, dirty iff the access was
+//!   a write).
+//! * [`Executor::run_scenario`] lowers a named scenario family under a
+//!   seed, differential-tests the resulting trace across every oracle
+//!   corner geometry, replays it on the C1 geometry for a stats block,
+//!   and memoizes the outcome under the scenario axes
+//!   `(family, seed, check)`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use sttgpu_cache::AccessKind;
+use sttgpu_core::{LlcModel, TwoPartConfig, TwoPartLlc, TwoPartStats};
+use sttgpu_device::energy::EnergyEvent;
+use sttgpu_oracle::{
+    corner_geometries, records_to_ops, run_case, scenario_by_name, Divergence, Op,
+};
+use sttgpu_sim::Gpu;
+use sttgpu_trace::{CheckReport, Checker, EventSink, Trace, TraceEvent, ENERGY_CATEGORIES};
+use sttgpu_tracefile::{TraceHeader, TraceMode, TraceRecord};
+use sttgpu_workloads::suite;
+
+use crate::configs::{gpu_config, two_part_config, L2Choice};
+use crate::runner::{Executor, RunPlan};
+
+/// Everything captured from one trace replay.
+#[derive(Debug, Clone)]
+pub struct ReplayOutput {
+    /// The replayed LLC's full statistics block.
+    pub stats: TwoPartStats,
+    /// Records replayed.
+    pub records: u64,
+    /// Timestamp of the last replayed call, ns.
+    pub end_ns: u64,
+    /// Invariant-checker report when requested; `None` otherwise.
+    pub check: Option<CheckReport>,
+}
+
+/// A recorded workload run: the raw-mode call stream plus the stats the
+/// recording run itself produced (the replay must reproduce them).
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// Raw-mode header (the recording config's line size).
+    pub header: TraceHeader,
+    /// The verbatim LLC call stream.
+    pub records: Vec<TraceRecord>,
+    /// The recording run's own LLC statistics block.
+    pub stats: TwoPartStats,
+}
+
+/// Builds the replay checker for `llc`: retention thresholds from the
+/// geometry plus the same timing slack the simulator harness uses —
+/// recorded probes time-stamp at interconnect arrival, so they can
+/// trail the maintenance engines by up to a cadence plus traversal lag.
+fn replay_checker(cfg: &TwoPartConfig, llc: &TwoPartLlc) -> Arc<Mutex<Checker>> {
+    let interval = llc.maintenance_interval_ns();
+    let slack = if interval == u64::MAX {
+        0
+    } else {
+        interval + 4 * gpu_config(L2Choice::TwoPartC1).icnt_latency_ns + 2_000
+    };
+    Arc::new(Mutex::new(Checker::new(
+        cfg.check_config().with_slack_ns(slack),
+    )))
+}
+
+/// Feeds the end-of-run conservation reports into `checker` and closes
+/// the run, returning the accumulated report.
+fn close_replay_check(checker: &Arc<Mutex<Checker>>, llc: &TwoPartLlc) -> CheckReport {
+    let s = llc.summary();
+    let mut c = checker.lock().expect("checker poisoned");
+    c.emit(&TraceEvent::MetricsReport {
+        read_hits: s.read_hits,
+        read_misses: s.read_misses,
+        write_hits: s.write_hits,
+        write_misses: s.write_misses,
+        writebacks: s.writebacks,
+    });
+    let mut by_category = [0.0; ENERGY_CATEGORIES];
+    for ev in EnergyEvent::ALL {
+        by_category[ev.index()] = llc.energy().dynamic_nj_for(ev);
+    }
+    c.emit(&TraceEvent::EnergyReport {
+        by_category,
+        total_nj: llc.energy().dynamic_nj(),
+    });
+    c.finish_run(true);
+    c.report()
+}
+
+/// Replays trace records against a fresh [`TwoPartLlc`] built from
+/// `cfg`.
+///
+/// Raw-mode records are issued verbatim — every probe, fill and
+/// maintain exactly as recorded, in recorded order — so the resulting
+/// statistics block matches the recording run's. Requests-mode records
+/// run under the oracle's replay discipline: the clock starts one tick
+/// past the epoch, maintenance sweeps at the cadence before each
+/// access, and every miss fills immediately (dirty iff the access was
+/// a write).
+///
+/// Fails (with a printable message, never a panic) when the trace's
+/// line size does not match the geometry's.
+pub fn replay_records(
+    cfg: &TwoPartConfig,
+    header: &TraceHeader,
+    records: &[TraceRecord],
+    check: bool,
+) -> Result<ReplayOutput, String> {
+    if header.line_bytes != cfg.line_bytes {
+        return Err(format!(
+            "trace is {}-byte-line granular but the replay geometry uses {}-byte lines",
+            header.line_bytes, cfg.line_bytes
+        ));
+    }
+    let mut llc = TwoPartLlc::new(cfg.clone());
+    let checker = check.then(|| {
+        let checker = replay_checker(cfg, &llc);
+        llc.set_trace(Trace::to_sink(Arc::clone(&checker)));
+        checker
+    });
+    let line_bytes = cfg.line_bytes as u64;
+    let mut end_ns = 0u64;
+    match header.mode {
+        TraceMode::Raw => {
+            for rec in records {
+                end_ns = rec.at_ns();
+                match *rec {
+                    TraceRecord::Access { at_ns, line, write } => {
+                        let kind = if write {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        };
+                        llc.probe(line * line_bytes, kind, at_ns);
+                    }
+                    TraceRecord::Fill { at_ns, line, dirty } => {
+                        llc.fill(line * line_bytes, dirty, at_ns);
+                    }
+                    TraceRecord::Maintain { at_ns } => llc.maintain(at_ns),
+                }
+            }
+        }
+        TraceMode::Requests => {
+            let ops = records_to_ops(records).map_err(|e| e.to_string())?;
+            end_ns = replay_ops(&mut llc, &ops);
+        }
+    }
+    let check = checker.map(|c| close_replay_check(&c, &llc));
+    Ok(ReplayOutput {
+        stats: *llc.stats(),
+        records: records.len() as u64,
+        end_ns,
+        check,
+    })
+}
+
+/// Drives `llc` through `ops` under the oracle's replay discipline;
+/// returns the final clock.
+fn replay_ops(llc: &mut TwoPartLlc, ops: &[Op]) -> u64 {
+    let cadence = llc.maintenance_interval_ns();
+    let line_bytes = llc.config().line_bytes as u64;
+    let mut now = 1u64;
+    let mut last_maintain = now;
+    for op in ops {
+        now += op.dt_ns.max(1);
+        while now - last_maintain >= cadence {
+            last_maintain += cadence;
+            llc.maintain(last_maintain);
+        }
+        let byte_addr = op.line * line_bytes;
+        let kind = if op.write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        if !llc.probe(byte_addr, kind, now).hit {
+            llc.fill(byte_addr, op.write, now);
+        }
+    }
+    now
+}
+
+/// Runs `workload` (scaled by the plan) on the `choice` GPU with the
+/// LLC call log on, and returns the verbatim call stream as raw-mode
+/// records together with the run's own stats block. The log is
+/// deterministic for any `sim_threads` setting — requests batch and
+/// apply on the coordinating thread.
+///
+/// Fails when `choice` is not a two-part design point: raw traces exist
+/// to replay against [`TwoPartLlc`].
+pub fn record_workload(
+    choice: L2Choice,
+    workload_name: &str,
+    plan: &RunPlan,
+) -> Result<Recording, String> {
+    if two_part_config(choice).is_none() {
+        return Err(format!(
+            "{} is not a two-part configuration; record against C1/C2/C3",
+            choice.label()
+        ));
+    }
+    let workload = suite::by_name(workload_name)
+        .ok_or_else(|| format!("unknown workload: {workload_name}"))?;
+    let scaled = if (plan.scale - 1.0).abs() < 1e-9 {
+        workload
+    } else {
+        suite::scaled(&workload, plan.scale)
+    };
+    let cfg = gpu_config(choice);
+    let line_bytes = cfg.l2_line_bytes;
+    let mut gpu = Gpu::new(cfg);
+    gpu.set_sim_threads(plan.sim_threads as usize);
+    gpu.start_llc_call_log();
+    gpu.run_workload(&scaled, plan.max_cycles);
+    let records = gpu.take_llc_call_log().expect("call log was started");
+    let stats = *gpu
+        .llc()
+        .as_two_part()
+        .expect("two-part choice checked above")
+        .stats();
+    Ok(Recording {
+        header: TraceHeader::raw(line_bytes),
+        records,
+        stats,
+    })
+}
+
+/// Outcome of one scenario run: the differential verdict across every
+/// corner geometry plus a C1 stats block.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Family the trace was drawn from.
+    pub family: &'static str,
+    /// Seed the spec and trace were drawn under.
+    pub seed: u64,
+    /// Display name of the concrete spec (family plus seed).
+    pub spec_name: String,
+    /// Operations in the lowered trace.
+    pub ops: usize,
+    /// Corners that diverged (empty = differential clean).
+    pub divergences: Vec<(&'static str, Divergence)>,
+    /// Replay of the trace on the C1 geometry.
+    pub replay: ReplayOutput,
+}
+
+impl ScenarioOutcome {
+    /// Whether the differential ran clean and any attached checker
+    /// stayed green.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty() && self.replay.check.as_ref().is_none_or(CheckReport::is_clean)
+    }
+}
+
+/// Memoization key of one scenario run: the scenario axes.
+type ScenarioKey = (String, u64, bool);
+
+/// The scenario memo cache hanging off an [`Executor`] (see
+/// [`Executor::run_scenario`]); keyed by the scenario axes, shared by
+/// every artefact holding the same executor.
+#[derive(Debug, Default)]
+pub struct ScenarioCache {
+    cells: Mutex<HashMap<ScenarioKey, Arc<OnceLock<Arc<ScenarioOutcome>>>>>,
+}
+
+fn run_scenario_uncached(
+    family: &'static str,
+    make: fn(u64) -> sttgpu_oracle::ScenarioSpec,
+    seed: u64,
+    check: bool,
+) -> Result<ScenarioOutcome, String> {
+    let spec = make(seed);
+    let ops = spec.lower(seed.rotate_left(17));
+    let divergences: Vec<(&'static str, Divergence)> = corner_geometries()
+        .iter()
+        .filter_map(|corner| run_case(&corner.cfg, &ops).map(|d| (corner.name, d)))
+        .collect();
+    let cfg = two_part_config(L2Choice::TwoPartC1).expect("C1 is two-part");
+    let records = sttgpu_oracle::ops_to_records(&ops);
+    let header = TraceHeader::requests(cfg.line_bytes);
+    let replay = replay_records(&cfg, &header, &records, check)?;
+    Ok(ScenarioOutcome {
+        family,
+        seed,
+        spec_name: spec.name,
+        ops: ops.len(),
+        divergences,
+        replay,
+    })
+}
+
+impl Executor {
+    /// Memoized scenario run: lowers `family` under `seed`,
+    /// differential-tests the trace across every corner geometry and
+    /// replays it on C1. The outcome is cached under the scenario axes
+    /// `(family, seed, check)`, so artefacts sharing this executor run
+    /// each unique scenario exactly once.
+    pub fn run_scenario(
+        &self,
+        family: &str,
+        seed: u64,
+        check: bool,
+    ) -> Result<Arc<ScenarioOutcome>, String> {
+        let fam =
+            scenario_by_name(family).ok_or_else(|| format!("unknown scenario family: {family}"))?;
+        let cell = {
+            let mut cells = self
+                .scenario_cache()
+                .cells
+                .lock()
+                .expect("scenario cache poisoned");
+            Arc::clone(
+                cells
+                    .entry((fam.name.to_string(), seed, check))
+                    .or_insert_with(|| Arc::new(OnceLock::new())),
+            )
+        };
+        // OnceLock::get_or_init has no fallible variant; initialize
+        // manually so an error is returned, not cached.
+        if let Some(out) = cell.get() {
+            return Ok(Arc::clone(out));
+        }
+        let out = Arc::new(run_scenario_uncached(fam.name, fam.make, seed, check)?);
+        Ok(Arc::clone(cell.get_or_init(|| out)))
+    }
+}
+
+/// Renders a [`TwoPartStats`] block, one `name value` line per counter —
+/// the block `--trace`, `--scenario` and `--record` print, and the one
+/// record/replay equivalence compares.
+pub fn render_stats(s: &TwoPartStats) -> String {
+    let fields: [(&str, u64); 27] = [
+        ("lr_read_hits", s.lr_read_hits),
+        ("hr_read_hits", s.hr_read_hits),
+        ("lr_write_hits", s.lr_write_hits),
+        ("hr_write_hits", s.hr_write_hits),
+        ("read_misses", s.read_misses),
+        ("write_misses", s.write_misses),
+        ("demand_writes_lr", s.demand_writes_lr),
+        ("demand_writes_hr", s.demand_writes_hr),
+        ("lr_array_writes", s.lr_array_writes),
+        ("hr_array_writes", s.hr_array_writes),
+        ("migrations_to_lr", s.migrations_to_lr),
+        ("demotions_to_hr", s.demotions_to_hr),
+        ("refreshes", s.refreshes),
+        ("lr_expirations", s.lr_expirations),
+        ("hr_expirations", s.hr_expirations),
+        ("writebacks", s.writebacks),
+        ("overflow_writebacks", s.overflow_writebacks),
+        ("second_search_hits", s.second_search_hits),
+        ("fills_to_lr", s.fills_to_lr),
+        ("fills_to_hr", s.fills_to_hr),
+        ("lr_rotations", s.lr_rotations),
+        ("ecc_corrections", s.ecc_corrections),
+        ("ecc_uncorrectable", s.ecc_uncorrectable),
+        ("data_loss_events", s.data_loss_events),
+        ("refresh_drops", s.refresh_drops),
+        ("buffer_stalls", s.buffer_stalls),
+        ("bank_faults", s.bank_faults),
+    ];
+    let mut out = String::new();
+    for (name, v) in fields {
+        out.push_str(&format!("{name:<22} {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> RunPlan {
+        RunPlan::full().with_scale(0.05)
+    }
+
+    #[test]
+    fn recording_refuses_non_two_part_choices() {
+        let err = record_workload(L2Choice::SramBaseline, "nw", &tiny_plan()).unwrap_err();
+        assert!(err.contains("not a two-part"), "{err}");
+    }
+
+    #[test]
+    fn recording_an_unknown_workload_fails_cleanly() {
+        let err = record_workload(L2Choice::TwoPartC1, "no-such", &tiny_plan()).unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+    }
+
+    #[test]
+    fn replay_rejects_mismatched_line_sizes() {
+        let cfg = two_part_config(L2Choice::TwoPartC1).expect("C1");
+        let header = TraceHeader::requests(64);
+        let err = replay_records(&cfg, &header, &[], false).unwrap_err();
+        assert!(err.contains("line"), "{err}");
+    }
+
+    #[test]
+    fn scenario_runs_are_memoized_per_axes() {
+        let exec = Executor::sequential();
+        let a = exec
+            .run_scenario("zipf-hot", 7, false)
+            .expect("known family");
+        let b = exec
+            .run_scenario("zipf-hot", 7, false)
+            .expect("known family");
+        assert!(Arc::ptr_eq(&a, &b), "same axes must hit the cache");
+        let c = exec
+            .run_scenario("zipf-hot", 8, false)
+            .expect("known family");
+        assert!(!Arc::ptr_eq(&a, &c), "a different seed is a different run");
+        assert!(a.is_clean(), "zipf-hot:7 must be divergence-free");
+        assert!(a.ops > 0);
+    }
+
+    #[test]
+    fn unknown_scenario_families_fail_cleanly() {
+        let err = Executor::sequential()
+            .run_scenario("no-such-family", 1, false)
+            .unwrap_err();
+        assert!(err.contains("unknown scenario family"), "{err}");
+    }
+
+    #[test]
+    fn scenario_replay_with_checker_stays_green() {
+        let exec = Executor::sequential();
+        let out = exec
+            .run_scenario("grid-burst", 3, true)
+            .expect("known family");
+        let report = out.replay.check.as_ref().expect("checker attached");
+        assert!(
+            report.is_clean(),
+            "checker violations: {:?}",
+            report.samples
+        );
+    }
+
+    #[test]
+    fn rendered_stats_cover_every_counter() {
+        let s = TwoPartStats::default();
+        let text = render_stats(&s);
+        assert_eq!(text.lines().count(), 27);
+        assert!(text.contains("second_search_hits"));
+    }
+}

@@ -356,6 +356,7 @@ pub struct ExecutorStats {
 pub struct Executor {
     jobs: usize,
     cache: Mutex<HashMap<RunKey, Arc<OnceLock<Arc<RunOutput>>>>>,
+    scenario_cache: crate::replay::ScenarioCache,
     runs_executed: AtomicU64,
     cache_hits: AtomicU64,
     cycles_simulated: AtomicU64,
@@ -389,6 +390,12 @@ impl Executor {
     /// The configured worker-thread count.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The scenario memo cache (see
+    /// [`run_scenario`](Executor::run_scenario)).
+    pub(crate) fn scenario_cache(&self) -> &crate::replay::ScenarioCache {
+        &self.scenario_cache
     }
 
     /// Snapshot of the run/cache counters.

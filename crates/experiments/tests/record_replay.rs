@@ -1,0 +1,83 @@
+//! Record/replay equivalence: recording a built-in workload's LLC call
+//! stream and replaying the file against a fresh LLC must reproduce the
+//! recording run's statistics block exactly — the property that pins
+//! the trace format as capturing everything the LLC observes.
+
+use std::path::PathBuf;
+
+use sttgpu_experiments::{record_workload, replay_records, L2Choice, RunPlan};
+use sttgpu_tracefile::{load, save};
+
+fn tmp(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+fn plan() -> RunPlan {
+    RunPlan::full().with_scale(0.05)
+}
+
+#[test]
+fn record_then_replay_is_stats_identical_for_three_workloads() {
+    for workload in ["lud", "nw", "bfs"] {
+        let recording =
+            record_workload(L2Choice::TwoPartC1, workload, &plan()).expect("known workload");
+        assert!(
+            !recording.records.is_empty(),
+            "{workload}: the run must touch the LLC"
+        );
+
+        // Through the file: save, load, replay — the on-disk format is
+        // part of the property, not just the in-memory records.
+        let path = tmp(&format!("{workload}.trc"));
+        save(&path, recording.header, &recording.records).expect("save");
+        let (header, records) = load(&path).expect("load");
+        assert_eq!(records.len(), recording.records.len());
+
+        let cfg = sttgpu_experiments::configs::two_part_config(L2Choice::TwoPartC1).expect("C1");
+        let replay = replay_records(&cfg, &header, &records, true).expect("replay");
+        assert_eq!(
+            replay.stats, recording.stats,
+            "{workload}: replayed stats must match the recording run exactly"
+        );
+        let report = replay.check.expect("checker attached");
+        assert!(
+            report.is_clean(),
+            "{workload}: checker violations in replay: {:?}",
+            report.samples
+        );
+    }
+}
+
+#[test]
+fn recording_does_not_perturb_the_run() {
+    // The call log is observation only: a recorded run's stats must
+    // equal an unrecorded run's.
+    let recording = record_workload(L2Choice::TwoPartC1, "nw", &plan()).expect("known workload");
+    let direct = sttgpu_experiments::runner::run(
+        L2Choice::TwoPartC1,
+        &sttgpu_workloads::suite::by_name("nw").expect("nw"),
+        &plan(),
+    );
+    assert_eq!(
+        Some(recording.stats),
+        direct.two_part,
+        "logging must not change what the LLC observes"
+    );
+}
+
+#[test]
+fn text_twin_replays_identically() {
+    let recording = record_workload(L2Choice::TwoPartC1, "lud", &plan()).expect("known workload");
+    let bin = tmp("lud-twin.trc");
+    let txt = tmp("lud-twin.txt");
+    save(&bin, recording.header, &recording.records).expect("save binary");
+    save(&txt, recording.header, &recording.records).expect("save text");
+    let (bh, brecs) = load(&bin).expect("load binary");
+    let (th, trecs) = load(&txt).expect("load text");
+    assert_eq!(bh, th, "both encodings carry the same header");
+    assert_eq!(brecs, trecs, "both encodings carry the same records");
+
+    let cfg = sttgpu_experiments::configs::two_part_config(L2Choice::TwoPartC1).expect("C1");
+    let from_text = replay_records(&cfg, &th, &trecs, false).expect("replay");
+    assert_eq!(from_text.stats, recording.stats);
+}

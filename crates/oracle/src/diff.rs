@@ -8,6 +8,7 @@ use sttgpu_core::{LlcModel, TwoPartConfig, TwoPartLlc, TwoPartStats};
 
 use crate::corner::corner_geometries;
 use crate::model::OracleLlc;
+use crate::scenario::scenario_families;
 use crate::shrink::shrink;
 use crate::trace_gen::{generate, Op};
 
@@ -220,6 +221,9 @@ pub struct FuzzFailure {
     pub corner: &'static str,
     /// Seed that generated the diverging trace.
     pub seed: u64,
+    /// Scenario family the trace was drawn from, or `None` for a
+    /// legacy corner-spec trace.
+    pub scenario: Option<&'static str>,
     /// The divergence observed on the *original* trace.
     pub divergence: Divergence,
     /// The greedily minimized trace (still diverging).
@@ -238,22 +242,36 @@ pub struct FuzzReport {
 }
 
 /// Runs the contiguous case range `[lo, hi)` of a campaign seeded with
-/// `base_seed`. Corner rotation, per-case seeds and shrinking depend only
-/// on the *global* case index, so a range's results are identical whether
-/// it runs inside a serial sweep or on a pool shard.
+/// `base_seed`. Corner rotation, scenario rotation, per-case seeds and
+/// shrinking depend only on the *global* case index, so a range's
+/// results are identical whether it runs inside a serial sweep or on a
+/// pool shard.
+///
+/// Even case indices draw the corner's own [`TraceSpec`](crate::TraceSpec) (the legacy
+/// homogeneous mix, tuned per geometry); odd indices draw a scenario
+/// family instead, rotating through [`scenario_families`] — so every
+/// campaign exercises every family against every corner geometry.
 fn fuzz_range(lo: u64, hi: u64, base_seed: u64) -> Vec<FuzzFailure> {
     let corners = corner_geometries();
+    let families = scenario_families();
     let mut failures = Vec::new();
     for i in lo..hi {
         let corner = &corners[(i % corners.len() as u64) as usize];
         let seed = base_seed ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let ops = generate(seed, &corner.spec);
+        let (scenario, ops) = if i % 2 == 1 {
+            let fam = &families[((i / 2) % families.len() as u64) as usize];
+            let spec = (fam.make)(seed);
+            (Some(fam.name), spec.lower(seed.rotate_left(17)))
+        } else {
+            (None, generate(seed, &corner.spec))
+        };
         if let Some(divergence) = run_case(&corner.cfg, &ops) {
             let minimized = shrink(&corner.cfg, &ops);
             failures.push(FuzzFailure {
                 case: i,
                 corner: corner.name,
                 seed,
+                scenario,
                 divergence,
                 minimized,
             });

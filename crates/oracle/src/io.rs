@@ -1,0 +1,134 @@
+//! Bridging the oracle's [`Op`] vocabulary and the on-disk trace
+//! format.
+//!
+//! Oracle traces carry *relative* time (`dt_ns`), which is what makes
+//! them shrinkable; trace files carry *absolute* time (`at_ns`), which
+//! is what makes them streamable and mergeable. The two views are
+//! exactly inverse as long as every `dt_ns` is at least 1 — the same
+//! clamp [`run_case`](crate::run_case) applies — so a round trip
+//! through [`ops_to_records`] and [`records_to_ops`] reproduces the
+//! `Op` sequence bit for bit.
+
+use std::path::Path;
+
+use sttgpu_tracefile::{load, save, TraceError, TraceHeader, TraceMode, TraceRecord};
+
+use crate::trace_gen::Op;
+
+/// Converts an oracle trace to requests-mode records. Timestamps are
+/// the running sum of `dt_ns.max(1)` — the exact clock
+/// [`run_case`](crate::run_case) replays under (first op at
+/// `1 + dt_0`, one tick past the machines' epoch).
+pub fn ops_to_records(ops: &[Op]) -> Vec<TraceRecord> {
+    let mut at_ns = 0u64;
+    ops.iter()
+        .map(|op| {
+            at_ns += op.dt_ns.max(1);
+            TraceRecord::Access {
+                at_ns,
+                line: op.line,
+                write: op.write,
+            }
+        })
+        .collect()
+}
+
+/// Converts requests-mode records back to oracle ops by differencing
+/// the absolute clock. Rejects raw-only records and non-monotone
+/// timestamps with the same typed errors the readers use.
+pub fn records_to_ops(records: &[TraceRecord]) -> Result<Vec<Op>, TraceError> {
+    let mut prev = 0u64;
+    records
+        .iter()
+        .enumerate()
+        .map(|(i, rec)| match *rec {
+            TraceRecord::Access { at_ns, line, write } => {
+                if at_ns <= prev {
+                    return Err(TraceError::Discipline {
+                        record: i as u64,
+                        what: "timestamps must strictly increase",
+                    });
+                }
+                let dt_ns = at_ns - prev;
+                prev = at_ns;
+                Ok(Op { dt_ns, line, write })
+            }
+            _ => Err(TraceError::Discipline {
+                record: i as u64,
+                what: "only accesses are allowed",
+            }),
+        })
+        .collect()
+}
+
+/// Saves an oracle trace as a requests-mode file (binary, or the text
+/// twin for `.txt`/`.text` paths).
+pub fn save_ops(path: &Path, line_bytes: u32, ops: &[Op]) -> Result<(), TraceError> {
+    save(
+        path,
+        TraceHeader::requests(line_bytes),
+        &ops_to_records(ops),
+    )
+}
+
+/// Loads a requests-mode trace file as oracle ops, returning the line
+/// size the addresses are granular to. Raw-mode files are rejected:
+/// they encode an exact call sequence, not a request stream, and only
+/// the raw replayer may interpret them.
+pub fn load_ops(path: &Path) -> Result<(u32, Vec<Op>), TraceError> {
+    let (header, records) = load(path)?;
+    if header.mode != TraceMode::Requests {
+        return Err(TraceError::Discipline {
+            record: 0,
+            what: "requests-mode trace required (this file is raw mode)",
+        });
+    }
+    Ok((header.line_bytes, records_to_ops(&records)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<Op> {
+        vec![
+            Op {
+                dt_ns: 5,
+                line: 3,
+                write: true,
+            },
+            Op {
+                dt_ns: 1,
+                line: 900,
+                write: false,
+            },
+            Op {
+                dt_ns: 4_000,
+                line: 3,
+                write: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn ops_round_trip_through_records() {
+        let records = ops_to_records(&ops());
+        assert_eq!(records_to_ops(&records).expect("clean records"), ops());
+    }
+
+    #[test]
+    fn timestamps_are_the_running_dt_sum() {
+        let records = ops_to_records(&ops());
+        let at: Vec<u64> = records.iter().map(|r| r.at_ns()).collect();
+        assert_eq!(at, vec![5, 6, 4_006]);
+    }
+
+    #[test]
+    fn raw_records_are_rejected() {
+        let err = records_to_ops(&[TraceRecord::Maintain { at_ns: 9 }]).unwrap_err();
+        assert!(
+            matches!(err, TraceError::Discipline { record: 0, .. }),
+            "{err}"
+        );
+    }
+}

@@ -24,7 +24,14 @@
 //!   swap-buffer counters.
 //! * [`shrink`] greedily delta-debugs a diverging trace down to a
 //!   handful of operations fit for checking in as a regression test.
-//! * [`fuzz`] round-robins seeded cases across [`corner_geometries`] —
+//! * [`ScenarioSpec`] composes phases — working-set shifts, Zipf skew,
+//!   write-fraction ramps, grid-end write bursts, rewrite-interval
+//!   targets — and lowers them to the same [`Op`] vocabulary, so the
+//!   named families in [`scenario_families`] fuzz, shrink and pin
+//!   through the identical machinery; [`ops_to_records`]/[`save_ops`]
+//!   bridge to the on-disk trace format.
+//! * [`fuzz`] round-robins seeded cases across [`corner_geometries`],
+//!   interleaving legacy corner mixes with scenario-family draws —
 //!   paper-shape, direct-mapped, fully-associative, parallel-search,
 //!   tight-buffer, slack, rounded-tick and zero-rate-fault corners;
 //!   [`fuzz_sharded`] splits the same campaign into contiguous case
@@ -41,12 +48,16 @@
 
 mod corner;
 mod diff;
+mod io;
 mod model;
+mod scenario;
 mod shrink;
 mod trace_gen;
 
 pub use corner::{corner_geometries, Corner};
 pub use diff::{fuzz, fuzz_sharded, run_case, Divergence, FuzzFailure, FuzzReport};
+pub use io::{load_ops, ops_to_records, records_to_ops, save_ops};
 pub use model::OracleLlc;
+pub use scenario::{scenario_by_name, scenario_families, Phase, ScenarioFamily, ScenarioSpec};
 pub use shrink::shrink;
 pub use trace_gen::{format_trace, generate, Op, TraceSpec};

@@ -1,0 +1,54 @@
+//! Differential tests per scenario class: every named family runs the
+//! implementation against the reference model across every corner
+//! geometry. A divergence is shrunk before it is reported, so a failure
+//! message here is already a ready-to-check-in regression trace
+//! (`crates/oracle/tests/regressions.rs` is where it goes).
+
+use sttgpu_oracle::{corner_geometries, format_trace, run_case, scenario_families, shrink};
+
+/// Seeds per family — small enough to stay tier-1-fast (the full sweep
+/// is `repro --fuzz`), wide enough that each family meets each corner
+/// in several concrete shapes.
+const SEEDS: [u64; 3] = [1, 7, 1234];
+
+#[test]
+fn every_scenario_family_agrees_with_the_oracle_on_every_corner() {
+    let corners = corner_geometries();
+    for fam in scenario_families() {
+        for &seed in &SEEDS {
+            let spec = (fam.make)(seed);
+            let ops = spec.lower(seed.rotate_left(17));
+            for corner in &corners {
+                if let Some(divergence) = run_case(&corner.cfg, &ops) {
+                    let minimized = shrink(&corner.cfg, &ops);
+                    panic!(
+                        "scenario {} (seed {seed}) diverged on {}: {divergence}\n\
+                         check this in under crates/oracle/tests/ as a regression:\n\
+                         minimized trace ({} ops):\n{}",
+                        spec.name,
+                        corner.name,
+                        minimized.len(),
+                        format_trace(&minimized)
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scenario_traces_shrink_like_generated_ones() {
+    // The shrinker's contract — any subsequence of a well-formed trace
+    // is still well formed — must hold for scenario-lowered traces too,
+    // or a scenario divergence could not be minimized. Spot-check that
+    // truncations and deletions replay without panicking.
+    let fam = scenario_families();
+    let spec = (fam[0].make)(7);
+    let ops = spec.lower(7);
+    let corner = &corner_geometries()[0];
+    let half = &ops[..ops.len() / 2];
+    let _ = run_case(&corner.cfg, half);
+    let mut gap: Vec<_> = ops.clone();
+    gap.drain(10..20.min(gap.len()));
+    let _ = run_case(&corner.cfg, &gap);
+}

@@ -131,6 +131,20 @@ impl Gpu {
         self.mem.llc()
     }
 
+    /// Starts recording the verbatim LLC call stream — every probe,
+    /// fill and maintain the memory system issues, in exact order.
+    /// Requests are batched and applied on the coordinating thread, so
+    /// the log is deterministic for any `--sim-threads` setting.
+    pub fn start_llc_call_log(&mut self) {
+        self.mem.start_call_log();
+    }
+
+    /// Stops recording and returns the LLC call log, or `None` when
+    /// recording was never started.
+    pub fn take_llc_call_log(&mut self) -> Option<Vec<sttgpu_tracefile::TraceRecord>> {
+        self.mem.take_call_log()
+    }
+
     /// Current cycle count.
     pub fn cycle(&self) -> u64 {
         self.cycle

@@ -12,6 +12,7 @@ use std::collections::BinaryHeap;
 use sttgpu_cache::{AccessKind, BankArbiter, LineMap};
 use sttgpu_core::{AnyLlc, LlcModel};
 use sttgpu_trace::{Trace, TraceEvent};
+use sttgpu_tracefile::TraceRecord;
 
 use crate::config::GpuConfig;
 use crate::icnt::Icnt;
@@ -62,6 +63,12 @@ pub struct MemSystem {
     l2_line_bytes: u64,
     next_maintain_ns: u64,
     maintain_interval_ns: u64,
+    /// When recording, the verbatim LLC call stream (probes at icnt
+    /// arrival, fills at DRAM-data arrival, maintains at cadence
+    /// deadlines) in exact issue order — replaying it against a fresh
+    /// LLC reproduces the statistics block bit for bit. MSHR-merged
+    /// requests never reach the LLC and so never appear.
+    call_log: Option<Vec<TraceRecord>>,
     /// DRAM read requests issued (L2 fills).
     pub dram_reads: u64,
     /// DRAM write requests issued (L2 write-backs).
@@ -95,6 +102,7 @@ impl MemSystem {
             l2_line_bytes: cfg.l2_line_bytes as u64,
             next_maintain_ns: maintain_interval_ns,
             maintain_interval_ns,
+            call_log: None,
             dram_reads: 0,
             dram_writes: 0,
             dram_row_hits: 0,
@@ -118,6 +126,18 @@ impl MemSystem {
     pub fn set_trace(&mut self, trace: Trace) {
         self.llc.set_trace(trace.clone());
         self.trace = trace;
+    }
+
+    /// Starts recording the verbatim LLC call stream (discarding any
+    /// log in progress). Costs one branch per LLC call while active.
+    pub fn start_call_log(&mut self) {
+        self.call_log = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the log, or `None` when recording
+    /// was never started.
+    pub fn take_call_log(&mut self) -> Option<Vec<TraceRecord>> {
+        self.call_log.take()
     }
 
     fn push_event(&mut self, at_ns: u64, kind: EventKind) {
@@ -179,6 +199,13 @@ impl MemSystem {
             return;
         }
 
+        if let Some(log) = &mut self.call_log {
+            log.push(TraceRecord::Access {
+                at_ns: arrival,
+                line: l2_line,
+                write: false,
+            });
+        }
         let out = self.llc.probe(byte_addr, AccessKind::Read, arrival);
         self.charge_writebacks(out.writebacks, arrival);
         if out.hit {
@@ -218,6 +245,13 @@ impl MemSystem {
             return;
         }
 
+        if let Some(log) = &mut self.call_log {
+            log.push(TraceRecord::Access {
+                at_ns: arrival,
+                line: l2_line,
+                write: true,
+            });
+        }
         let out = self.llc.probe(byte_addr, AccessKind::Write, arrival);
         self.charge_writebacks(out.writebacks, arrival);
         if !out.hit {
@@ -252,6 +286,9 @@ impl MemSystem {
         if self.maintain_interval_ns != u64::MAX {
             while self.next_maintain_ns <= now_ns {
                 let t = self.next_maintain_ns;
+                if let Some(log) = &mut self.call_log {
+                    log.push(TraceRecord::Maintain { at_ns: t });
+                }
                 self.llc.maintain(t);
                 self.next_maintain_ns += self.maintain_interval_ns;
             }
@@ -275,6 +312,13 @@ impl MemSystem {
                         }
                         None => L2Pending::default(),
                     };
+                    if let Some(log) = &mut self.call_log {
+                        log.push(TraceRecord::Fill {
+                            at_ns: t,
+                            line: l2_line,
+                            dirty: pending.dirty,
+                        });
+                    }
                     let out = self.llc.fill(byte_addr, pending.dirty, t);
                     self.charge_writebacks(out.writebacks, t);
                     // Fill-and-forward: waiters get data over the icnt.
@@ -490,6 +534,49 @@ mod tests {
         assert_eq!(seen, 1, "exactly one delivery in total");
         m.tick(20_000, &mut fills);
         assert!(fills.is_empty(), "stale deliveries must not survive");
+    }
+
+    #[test]
+    fn call_log_captures_the_exact_llc_call_stream() {
+        let mut m = mem();
+        m.start_call_log();
+        m.read_request(0, 0x1000, 0); // miss: probe + later fill
+        m.read_request(1, 0x1080, 0); // merges: no LLC call at all
+        drain(&mut m, 10_000);
+        m.write_request(0, 0x1000, 20_000); // hit: probe only
+        drain(&mut m, 30_000);
+        let log = m.take_call_log().expect("logging was on");
+        let l2_line = 0x1000 / 256;
+        assert_eq!(log.len(), 3, "merge must not log: {log:?}");
+        assert!(
+            matches!(log[0], TraceRecord::Access { line, write: false, .. } if line == l2_line)
+        );
+        assert!(matches!(log[1], TraceRecord::Fill { line, dirty: false, .. } if line == l2_line));
+        assert!(matches!(log[2], TraceRecord::Access { line, write: true, .. } if line == l2_line));
+        assert!(m.take_call_log().is_none(), "take stops the recording");
+    }
+
+    #[test]
+    fn call_log_interleaves_maintains_at_cadence_deadlines() {
+        use sttgpu_core::TwoPartConfig;
+        let mut cfg = GpuConfig::gtx480();
+        cfg.l2 = L2ModelConfig::TwoPart(TwoPartConfig::new(8, 2, 56, 7, 256));
+        let mut m = MemSystem::new(&cfg);
+        let cadence = m.maintain_interval_ns;
+        m.start_call_log();
+        m.write_request(0, 0x100, 0);
+        drain(&mut m, 20_000);
+        let log = m.take_call_log().expect("logging was on");
+        let maintains = log
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Maintain { .. }))
+            .count();
+        assert!(maintains > 0, "cadence must appear in the log");
+        for r in &log {
+            if let TraceRecord::Maintain { at_ns } = r {
+                assert_eq!(at_ns % cadence, 0, "maintains land on cadence ticks");
+            }
+        }
     }
 
     #[test]

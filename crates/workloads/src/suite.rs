@@ -12,22 +12,42 @@
 use crate::Region;
 use sttgpu_sim::{KernelParams, Workload, WritePhase};
 
+/// Floors below which a scaled kernel stops being a meaningful run.
+const MIN_BLOCKS: u32 = 2;
+const MIN_INSTRUCTIONS_PER_WARP: u32 = 50;
+
 /// Scales a workload's grid and instruction counts by `factor` (> 0),
 /// preserving its statistical character. Used to shrink runs for quick
 /// benchmarking; `factor = 1.0` is the reference scale.
+///
+/// Panics when `factor` is so small that every kernel collapses to the
+/// floors — at that point distinct factors would round to identical
+/// workloads, which silently breaks anything sweeping over scales.
 pub fn scaled(workload: &Workload, factor: f64) -> Workload {
     assert!(factor > 0.0, "scale factor must be positive");
-    let kernels = workload
+    let mut collapsed = true;
+    let kernels: Vec<_> = workload
         .kernels
         .iter()
         .map(|k| {
             let mut k = (**k).clone();
-            k.blocks = ((k.blocks as f64 * factor).round() as u32).max(2);
-            k.instructions_per_warp =
-                ((k.instructions_per_warp as f64 * factor.sqrt()).round() as u32).max(50);
+            let blocks = (k.blocks as f64 * factor).round() as u32;
+            let ipw = (k.instructions_per_warp as f64 * factor.sqrt()).round() as u32;
+            if blocks > MIN_BLOCKS || ipw > MIN_INSTRUCTIONS_PER_WARP {
+                collapsed = false;
+            }
+            k.blocks = blocks.max(MIN_BLOCKS);
+            k.instructions_per_warp = ipw.max(MIN_INSTRUCTIONS_PER_WARP);
             k
         })
         .collect();
+    assert!(
+        !collapsed,
+        "scale factor {factor} is too small for workload '{}': every kernel \
+         collapses to the floor ({MIN_BLOCKS} blocks, {MIN_INSTRUCTIONS_PER_WARP} \
+         instructions/warp), so distinct factors would produce identical runs",
+        workload.name
+    );
     Workload::new(&workload.name, kernels, workload.seed)
 }
 
@@ -464,6 +484,44 @@ mod tests {
         assert!(s.total_thread_instructions() < w.total_thread_instructions() / 2);
         assert_eq!(s.kernels[0].write_fraction, w.kernels[0].write_fraction);
         assert_eq!(s.kernels[0].footprint_bytes, w.kernels[0].footprint_bytes);
+    }
+
+    #[test]
+    fn scaling_is_monotone_in_factor() {
+        // Sweeping the supported scale range must never produce less
+        // work at a larger factor, and distinct factors in the range
+        // must stay distinguishable for at least one workload.
+        let factors = [0.05, 0.1, 0.2, 0.25, 0.5, 0.75, 1.0];
+        for w in all() {
+            let mut last = 0;
+            for &f in &factors {
+                let instr = scaled(&w, f).total_thread_instructions();
+                assert!(
+                    instr >= last,
+                    "{} at factor {f}: {instr} < previous {last}",
+                    w.name
+                );
+                last = instr;
+            }
+        }
+        for pair in factors.windows(2) {
+            assert!(
+                all()
+                    .iter()
+                    .any(|w| scaled(w, pair[0]).total_thread_instructions()
+                        < scaled(w, pair[1]).total_thread_instructions()),
+                "factors {} and {} are indistinguishable across the whole suite",
+                pair[0],
+                pair[1]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "collapses to the floor")]
+    fn scaling_rejects_factors_that_collapse_to_the_floors() {
+        let w = by_name("lud").expect("lud");
+        let _ = scaled(&w, 0.001);
     }
 
     #[test]
