@@ -46,9 +46,37 @@ if [[ "${1:-}" == "--smoke" ]]; then
 
     echo "==> repro record/replay round trip (nw @ 0.05 -> trace file -> --check replay)"
     trace_tmp="$(mktemp -t sttgpu-smoke-XXXXXX.trc)"
-    trap 'rm -f "$trace_tmp"' EXIT
+    smoke_tmp="$(mktemp -d -t sttgpu-smoke-store-XXXXXX)"
+    trap 'rm -f "$trace_tmp"; rm -rf "$smoke_tmp"' EXIT
     ./target/release/repro --record nw --trace-out "$trace_tmp" --scale 0.05 > /dev/null
     ./target/release/repro --trace "$trace_tmp" --check > /dev/null
+
+    echo "==> repro persistent store: cold fill -> warm byte-identity with zero simulations"
+    store_dir="$smoke_tmp/store"
+    store_args=(--scale 0.05 --store "$store_dir" table1 table2 fig3 fig6)
+    ./target/release/repro "${store_args[@]}" --out "$smoke_tmp/cold" > /dev/null
+    ./target/release/repro "${store_args[@]}" --out "$smoke_tmp/warm" > /dev/null
+    for f in table1.txt table1.csv table2.txt table2.csv fig3.txt fig3.csv fig6.txt fig6.csv; do
+        cmp "$smoke_tmp/cold/$f" "$smoke_tmp/warm/$f" \
+            || { echo "store smoke: $f differs between cold and warm runs"; exit 1; }
+    done
+    grep -q '"runs_executed": 0,' "$smoke_tmp/warm/BENCH_repro.json" \
+        || { echo "store smoke: warm run re-executed simulations"; exit 1; }
+
+    echo "==> repro persistent store: corrupted entry is quarantined and recomputed"
+    first_entry="$(ls "$store_dir"/objects/*.ent | head -n 1)"
+    truncate -s -7 "$first_entry"
+    ./target/release/repro "${store_args[@]}" --out "$smoke_tmp/healed" > /dev/null
+    [[ -n "$(ls -A "$store_dir/quarantine" 2> /dev/null)" ]] \
+        || { echo "store smoke: corrupted entry was not quarantined"; exit 1; }
+    cmp "$smoke_tmp/cold/table1.txt" "$smoke_tmp/healed/table1.txt" \
+        || { echo "store smoke: recomputed artefact differs"; exit 1; }
+
+    echo "==> repro persistent store: two concurrent invocations share one store"
+    ./target/release/repro "${store_args[@]}" --out "$smoke_tmp/conc1" > /dev/null &
+    conc_pid=$!
+    ./target/release/repro "${store_args[@]}" --out "$smoke_tmp/conc2" > /dev/null
+    wait "$conc_pid"
 fi
 
 echo "CI OK"

@@ -24,13 +24,29 @@
 //! # Crash resilience
 //!
 //! With `--out`, every completed artefact is journalled to
-//! `<dir>/repro.journal` *after* its files hit the disk; `--resume` skips
-//! artefacts whose journal entry matches the current plan and whose
-//! `.txt` still exists, so a killed sweep continues where it stopped and
+//! `<dir>/repro.journal` *after* its files hit the disk; the journal
+//! opens with a versioned header pinning the plan and store generation,
+//! and `--resume` refuses (typed error) if that header disagrees with
+//! the current invocation, else skips artefacts whose `ok` entry and
+//! `.txt` both exist — so a killed sweep continues where it stopped and
 //! produces byte-identical outputs. An artefact that panics (after the
 //! runner's internal retries) is **quarantined**: the sweep continues,
 //! the failure lands in `<dir>/QUARANTINE.txt` (one `artefact<TAB>reason`
-//! line each), and the exit code is nonzero.
+//! line each), and the exit code is nonzero. `--run-timeout SECS` arms a
+//! per-attempt wall-clock watchdog that turns hung simulations into the
+//! same retry-then-quarantine path.
+//!
+//! # Persistent result store
+//!
+//! `--store DIR` attaches a crash-safe content-addressed result store:
+//! every simulation is looked up there first and written back after, so
+//! a warm store regenerates every artefact byte-identically while
+//! executing **zero** simulations. Corrupt or version-skewed entries are
+//! detected by checksum, quarantined to `DIR/quarantine/` and
+//! transparently recomputed; a second concurrent invocation joins
+//! read-only (a lock file with a heartbeat serializes writers); any
+//! infrastructure failure degrades the store to a warning, never a
+//! failed sweep.
 //!
 //! # Differential fuzzing
 //!
@@ -50,12 +66,14 @@ use std::io::Write;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use sttgpu_experiments::error::panic_message;
+use sttgpu_experiments::persist::StoreReport;
 use sttgpu_experiments::{
-    ablations, faults, fig3, fig4, fig5, fig6, fig8, table1, table2, workload_table, Executor,
-    RunPlan,
+    ablations, cli, faults, fig3, fig4, fig5, fig6, fig8, table1, table2, workload_table, Executor,
+    ResultStore, RunError, RunPlan, STORE_GENERATION,
 };
 
 const ARTEFACTS: [&str; 10] = [
@@ -74,7 +92,8 @@ const ARTEFACTS: [&str; 10] = [
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--quick] [--scale F] [--jobs N] [--sim-threads T] [--out DIR] \
-         [--check] [--faults RATE] [--fault-seed N] [--resume] <all|{}> ...\n\
+         [--check] [--faults RATE] [--fault-seed N] [--resume] [--store DIR] \
+         [--run-timeout SECS] <all|{}> ...\n\
          \x20      repro --fuzz N [--fuzz-seed S] [--sim-threads T]  # differential fuzz vs the oracle\n\
          \x20      repro --canary [--out DIR]       # perf canary vs checked-in baseline\n\
          \x20      repro --scenario NAME[:seed] [--check]   # scenario family vs oracle + C1 replay ('list' lists)\n\
@@ -448,12 +467,21 @@ fn run_record_mode(workload: &str, out_path: &Path, plan: &RunPlan) -> ExitCode 
     ExitCode::SUCCESS
 }
 
-/// One journal line identifying a completed artefact under a plan. Bit
-/// patterns for the floats: resume must match exactly, not approximately.
-fn journal_line(name: &str, plan: &RunPlan) -> String {
+/// Journal format version. v1 had no header and stamped every `ok` line
+/// with the full plan; v2 pins the plan (and the result-store
+/// generation) once in a header line, so a `--resume` against a journal
+/// written by an incompatible invocation is a typed refusal instead of
+/// a silent full re-run — or worse, a silent skip of stale artefacts.
+const JOURNAL_VERSION: u32 = 2;
+
+/// The v2 journal header. Bit patterns for the floats: resume must
+/// match exactly, not approximately. `run_timeout_s` is absent by
+/// design — supervision cannot change the bytes of a completed
+/// artefact, so it must not invalidate a resume.
+fn journal_header(plan: &RunPlan) -> String {
     format!(
-        "ok {name} scale={:016x} max_cycles={} check={} fault_rate={:016x} fault_seed={} \
-         sim_threads={}",
+        "sttgpu-journal v{JOURNAL_VERSION} scale={:016x} max_cycles={} check={} \
+         fault_rate={:016x} fault_seed={} sim_threads={} store_gen={STORE_GENERATION}",
         plan.scale.to_bits(),
         plan.max_cycles,
         u8::from(plan.check),
@@ -463,27 +491,96 @@ fn journal_line(name: &str, plan: &RunPlan) -> String {
     )
 }
 
-/// Reads the journal and returns the artefact names already completed
-/// under exactly this plan (missing journal = nothing completed).
-fn completed_artefacts(dir: &Path, plan: &RunPlan) -> Vec<String> {
-    let Ok(text) = fs::read_to_string(dir.join("repro.journal")) else {
-        return Vec::new();
-    };
-    text.lines()
-        .filter_map(|line| {
-            let name = line.strip_prefix("ok ")?.split(' ').next()?;
-            (line == journal_line(name, plan)).then(|| name.to_string())
-        })
-        .collect()
+/// One journal line identifying a completed artefact (the header pins
+/// everything else about how it was produced).
+fn journal_line(name: &str) -> String {
+    format!("ok {name}")
 }
 
-/// Appends one line to the journal, creating it on first use.
+/// Names the first header field that disagrees, for the mismatch error.
+fn header_mismatch(found: &str, expected: &str) -> String {
+    if !found.starts_with("sttgpu-journal ") {
+        return format!("journal has no version header (first line {found:?})");
+    }
+    for (f, e) in found.split_whitespace().zip(expected.split_whitespace()) {
+        if f != e {
+            return format!("journal was written with {f}, this invocation is {e}");
+        }
+    }
+    format!("journal header {found:?} does not match {expected:?}")
+}
+
+/// Reads the journal and returns the artefact names already completed.
+/// A missing or empty journal means nothing completed; a journal whose
+/// header disagrees with this invocation is a typed
+/// [`RunError::JournalMismatch`] — its completion records describe
+/// artefacts this run would not reproduce, so trusting them would
+/// corrupt the sweep. A torn trailing line (the previous run died
+/// mid-append) is harmlessly ignored: it never matches a completed
+/// artefact's `.txt` check downstream.
+fn completed_artefacts(dir: &Path, plan: &RunPlan) -> Result<Vec<String>, RunError> {
+    let path = dir.join("repro.journal");
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(RunError::io(path.display().to_string(), e)),
+    };
+    let mut lines = text.lines();
+    let expected = journal_header(plan);
+    match lines.next() {
+        None => Ok(Vec::new()),
+        Some(first) if first == expected => Ok(lines
+            .filter_map(|l| l.strip_prefix("ok "))
+            .filter_map(|n| n.split_whitespace().next())
+            .map(str::to_string)
+            .collect()),
+        Some(first) => Err(RunError::JournalMismatch {
+            what: header_mismatch(first, &expected),
+        }),
+    }
+}
+
+/// Writes a file atomically: unique temp file in the same directory,
+/// flushed to disk, then renamed over the target. A crash mid-write
+/// leaves the old content (or no file) — never a torn one.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("artefact");
+    let tmp = path.with_file_name(format!("{name}.tmp-{}", std::process::id()));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Starts a fresh journal containing only the header, atomically (a
+/// crash leaves either the old journal or the new one, never a torn
+/// in-between).
+fn start_journal(dir: &Path, plan: &RunPlan) -> std::io::Result<()> {
+    write_atomic(
+        &dir.join("repro.journal"),
+        format!("{}\n", journal_header(plan)).as_bytes(),
+    )
+}
+
+/// Appends one line to the journal as a single full-line write on an
+/// append-mode handle, so a crash mid-append can tear at most the final
+/// line (which resume then ignores) and concurrent appends never
+/// interleave within a line.
 fn append_journal(dir: &Path, line: &str) -> std::io::Result<()> {
     let mut f = fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(dir.join("repro.journal"))?;
-    writeln!(f, "{line}")
+    f.write_all(format!("{line}\n").as_bytes())
 }
 
 /// Computes one artefact: the rendered text plus, where meaningful, a CSV.
@@ -539,6 +636,7 @@ fn bench_json(
     plan: &RunPlan,
     timings: &[(String, f64)],
     stats: sttgpu_experiments::ExecutorStats,
+    store: Option<StoreReport>,
     total_s: f64,
 ) -> String {
     let mut out = String::from("{\n");
@@ -549,6 +647,15 @@ fn bench_json(
     out.push_str(&format!("  \"wall_clock_s\": {total_s:.3},\n"));
     out.push_str(&format!("  \"runs_executed\": {},\n", stats.runs_executed));
     out.push_str(&format!("  \"cache_hits\": {},\n", stats.cache_hits));
+    out.push_str(&format!("  \"store_hits\": {},\n", stats.store_hits));
+    match store {
+        None => out.push_str("  \"store\": null,\n"),
+        Some(r) => out.push_str(&format!(
+            "  \"store\": {{\"hits\": {}, \"misses\": {}, \"corrupt\": {}, \"writes\": {}, \
+             \"degraded\": {}, \"read_only\": {}}},\n",
+            r.hits, r.misses, r.corrupt, r.writes, r.degraded, r.read_only
+        )),
+    }
     out.push_str(&format!(
         "  \"cycles_simulated\": {},\n",
         stats.cycles_simulated
@@ -585,36 +692,46 @@ fn main() -> ExitCode {
     let mut trace_in: Option<PathBuf> = None;
     let mut record: Option<String> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut store_dir: Option<PathBuf> = None;
+    let mut run_timeout: Option<u64> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => plan = RunPlan::quick(),
-            "--scale" => {
-                let Some(v) = args.next().and_then(|s| s.parse::<f64>().ok()) else {
-                    return usage();
-                };
-                if v <= 0.0 {
-                    return usage();
-                }
-                plan = plan.with_scale(v);
-            }
-            "--jobs" => {
-                let Some(n) = args.next().and_then(|s| s.parse::<usize>().ok()) else {
-                    return usage();
-                };
-                if n == 0 {
+            "--scale" => match cli::parse_scale(args.next().as_deref()) {
+                Ok(v) => plan = plan.with_scale(v),
+                Err(e) => {
+                    eprintln!("{e}");
                     return usage();
                 }
-                jobs = Some(n);
-            }
-            "--sim-threads" => {
-                let Some(n) = args.next().and_then(|s| s.parse::<u32>().ok()) else {
-                    return usage();
-                };
-                if n == 0 {
+            },
+            "--jobs" => match cli::parse_jobs(args.next().as_deref()) {
+                Ok(n) => jobs = Some(n),
+                Err(e) => {
+                    eprintln!("{e}");
                     return usage();
                 }
-                sim_threads = n;
+            },
+            "--sim-threads" => match cli::parse_sim_threads(args.next().as_deref()) {
+                Ok(n) => sim_threads = n,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
+            "--run-timeout" => match cli::parse_run_timeout(args.next().as_deref()) {
+                Ok(n) => run_timeout = Some(n),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
+            "--store" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--store needs a directory");
+                    return usage();
+                };
+                store_dir = Some(PathBuf::from(dir));
             }
             "--out" => {
                 let Some(dir) = args.next() else {
@@ -706,6 +823,10 @@ fn main() -> ExitCode {
             eprintln!("--canary does not combine with artefact targets");
             return usage();
         }
+        if store_dir.is_some() {
+            eprintln!("--canary measures real simulation throughput; --store would skip the work");
+            return usage();
+        }
         return run_canary(out_dir.as_deref());
     }
     if let Some(cases) = fuzz_cases {
@@ -751,14 +872,28 @@ fn main() -> ExitCode {
         .with_check(check)
         .with_faults(fault_rate, fault_seed)
         .with_sim_threads(sim_threads);
+    if let Some(secs) = run_timeout {
+        plan = plan.with_run_timeout(secs);
+    }
     if resume && out_dir.is_none() {
         eprintln!("--resume needs --out DIR (that's where the journal lives)");
         return usage();
     }
-    let exec = match jobs {
+    let mut exec = match jobs {
         Some(n) => Executor::new(n),
         None => Executor::auto(),
     };
+    if let Some(dir) = &store_dir {
+        // A store that cannot open is a warning, not a failure: the
+        // sweep still produces every artefact, it just re-simulates.
+        match ResultStore::open(dir) {
+            Ok(store) => exec.set_store(Arc::new(store)),
+            Err(e) => eprintln!(
+                "# store: cannot open {} ({e}); continuing without persistence",
+                dir.display()
+            ),
+        }
+    }
     eprintln!(
         "# repro: scale={} max_cycles={} jobs={} sim_threads={} artefacts={:?}",
         plan.scale,
@@ -774,12 +909,33 @@ fn main() -> ExitCode {
         }
     }
     let done_already: Vec<String> = match (&out_dir, resume) {
-        (Some(dir), true) => completed_artefacts(dir, &plan)
-            .into_iter()
-            .filter(|name| dir.join(format!("{name}.txt")).is_file())
-            .collect(),
+        (Some(dir), true) => match completed_artefacts(dir, &plan) {
+            Ok(names) => names
+                .into_iter()
+                .filter(|name| dir.join(format!("{name}.txt")).is_file())
+                .collect(),
+            Err(e) => {
+                eprintln!("{e}");
+                eprintln!(
+                    "(delete {} or rerun without --resume to start fresh)",
+                    dir.join("repro.journal").display()
+                );
+                return ExitCode::FAILURE;
+            }
+        },
         _ => Vec::new(),
     };
+    if let Some(dir) = &out_dir {
+        // A non-resume run starts a fresh journal; a resume keeps the
+        // verified one (creating it if the previous run died before the
+        // header landed).
+        if !resume || !dir.join("repro.journal").is_file() {
+            if let Err(e) = start_journal(dir, &plan) {
+                eprintln!("cannot start journal in {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let started_all = Instant::now();
     let mut timings: Vec<(String, f64)> = Vec::new();
     let mut quarantined: Vec<(String, String)> = Vec::new();
@@ -807,19 +963,19 @@ fn main() -> ExitCode {
         };
         println!("{text}");
         if let Some(dir) = &out_dir {
-            if let Err(e) = fs::write(dir.join(format!("{t}.txt")), &text) {
+            if let Err(e) = write_atomic(&dir.join(format!("{t}.txt")), text.as_bytes()) {
                 eprintln!("cannot write {t}.txt: {e}");
                 return ExitCode::FAILURE;
             }
             if let Some(csv) = csv {
-                if let Err(e) = fs::write(dir.join(format!("{t}.csv")), csv) {
+                if let Err(e) = write_atomic(&dir.join(format!("{t}.csv")), csv.as_bytes()) {
                     eprintln!("cannot write {t}.csv: {e}");
                     return ExitCode::FAILURE;
                 }
             }
             // Journal only after the artefact's files are durably on
             // disk, so a crash between write and journal re-runs it.
-            if let Err(e) = append_journal(dir, &journal_line(t, &plan)) {
+            if let Err(e) = append_journal(dir, &journal_line(t)) {
                 eprintln!("cannot update journal: {e}");
                 return ExitCode::FAILURE;
             }
@@ -832,20 +988,34 @@ fn main() -> ExitCode {
     let stats = exec.stats();
     eprintln!(
         "# total {:.1}s on {} jobs: {} runs executed, {} served from cache, \
-         {:.1}M cycles simulated ({:.2}M cycles/s)",
+         {} from the store, {:.1}M cycles simulated ({:.2}M cycles/s)",
         total_s,
         exec.jobs(),
         stats.runs_executed,
         stats.cache_hits,
+        stats.store_hits,
         stats.cycles_simulated as f64 / 1e6,
         stats.cycles_simulated as f64 / 1e6 / total_s.max(1e-9)
     );
-    let json = bench_json(exec.jobs(), &plan, &timings, stats, total_s);
+    let store_report = exec.store().map(|s| s.report());
+    if let (Some(store), Some(r)) = (exec.store(), store_report) {
+        eprintln!(
+            "# store: {} hit(s), {} miss(es), {} corrupt quarantined, {} written{}{} ({})",
+            r.hits,
+            r.misses,
+            r.corrupt,
+            r.writes,
+            if r.read_only { ", read-only" } else { "" },
+            if r.degraded { ", DEGRADED" } else { "" },
+            store.root().display()
+        );
+    }
+    let json = bench_json(exec.jobs(), &plan, &timings, stats, store_report, total_s);
     let bench_path = out_dir
         .as_deref()
         .map(|d| d.join("BENCH_repro.json"))
         .unwrap_or_else(|| PathBuf::from("BENCH_repro.json"));
-    if let Err(e) = fs::write(&bench_path, json) {
+    if let Err(e) = write_atomic(&bench_path, json.as_bytes()) {
         eprintln!("cannot write {}: {e}", bench_path.display());
         return ExitCode::FAILURE;
     }
@@ -875,7 +1045,7 @@ fn main() -> ExitCode {
             .as_deref()
             .map(|d| d.join("QUARANTINE.txt"))
             .unwrap_or_else(|| PathBuf::from("QUARANTINE.txt"));
-        if let Err(e) = fs::write(&q_path, &report) {
+        if let Err(e) = write_atomic(&q_path, report.as_bytes()) {
             eprintln!("cannot write {}: {e}", q_path.display());
         }
         eprintln!(

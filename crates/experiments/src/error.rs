@@ -39,6 +39,22 @@ pub enum RunError {
         /// Human-readable description of the rejection.
         what: String,
     },
+    /// Every attempt exceeded the wall-clock watchdog
+    /// (`--run-timeout`). The hung simulation threads were abandoned;
+    /// the artefact is quarantined like a panicking one.
+    Timeout {
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The per-attempt budget that was exceeded, seconds.
+        seconds: u64,
+    },
+    /// A `--resume` journal was written by an incompatible invocation
+    /// (different format version, run plan, or store generation), so
+    /// its completion records cannot be trusted.
+    JournalMismatch {
+        /// Which header field disagreed, and how.
+        what: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -50,6 +66,15 @@ impl fmt::Display for RunError {
             RunError::UnknownWorkload { name } => write!(f, "unknown workload '{name}'"),
             RunError::Io { path, what } => write!(f, "io error on {path}: {what}"),
             RunError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            RunError::Timeout { attempts, seconds } => {
+                write!(
+                    f,
+                    "run exceeded the {seconds}s watchdog on all {attempts} attempts"
+                )
+            }
+            RunError::JournalMismatch { what } => {
+                write!(f, "resume journal mismatch: {what}")
+            }
         }
     }
 }
@@ -108,6 +133,19 @@ mod tests {
             (
                 RunError::InvalidConfig { what: "bad".into() },
                 "invalid configuration: bad",
+            ),
+            (
+                RunError::Timeout {
+                    attempts: 3,
+                    seconds: 30,
+                },
+                "exceeded the 30s watchdog on all 3 attempts",
+            ),
+            (
+                RunError::JournalMismatch {
+                    what: "store_gen 1 != 2".into(),
+                },
+                "resume journal mismatch: store_gen 1 != 2",
             ),
         ];
         for (err, fragment) in cases {

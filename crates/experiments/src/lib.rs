@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cli;
 pub mod configs;
 pub mod error;
 pub mod faults;
@@ -36,6 +37,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig8;
+pub mod persist;
 pub mod replay;
 pub mod report;
 pub mod runner;
@@ -45,6 +47,7 @@ pub mod workload_table;
 
 pub use configs::{gpu_config, L2Choice};
 pub use error::RunError;
+pub use persist::{ResultStore, StoreReport, STORE_GENERATION};
 pub use replay::{
     record_workload, render_stats, replay_records, Recording, ReplayOutput, ScenarioOutcome,
 };

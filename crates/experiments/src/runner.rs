@@ -73,6 +73,13 @@ pub struct RunPlan {
     /// in the memo key, like [`FaultSpec`], so a cache hit always states
     /// exactly how the run was produced.
     pub sim_threads: u32,
+    /// Per-attempt wall-clock watchdog (`--run-timeout`), seconds.
+    /// `None` disables supervision. A timed-out attempt is retried with
+    /// a salted seed exactly like a panicked one; if every attempt
+    /// hangs the run reports [`RunError::Timeout`]. Deliberately **not**
+    /// part of the memo/store key: a timeout can only abort a run,
+    /// never change the bytes of one that completed.
+    pub run_timeout_s: Option<u64>,
 }
 
 impl RunPlan {
@@ -84,6 +91,7 @@ impl RunPlan {
             check: false,
             fault: FaultSpec::NONE,
             sim_threads: 1,
+            run_timeout_s: None,
         }
     }
 
@@ -95,6 +103,7 @@ impl RunPlan {
             check: false,
             fault: FaultSpec::NONE,
             sim_threads: 1,
+            run_timeout_s: None,
         }
     }
 
@@ -122,6 +131,13 @@ impl RunPlan {
     pub fn with_sim_threads(mut self, threads: u32) -> Self {
         assert!(threads >= 1, "sim_threads must be at least 1");
         self.sim_threads = threads;
+        self
+    }
+
+    /// A plan supervised by a per-attempt wall-clock watchdog.
+    pub fn with_run_timeout(mut self, seconds: u64) -> Self {
+        assert!(seconds >= 1, "run timeout must be at least 1s");
+        self.run_timeout_s = Some(seconds);
         self
     }
 }
@@ -212,6 +228,11 @@ fn run_config_once(
     plan: &RunPlan,
     attempt: u32,
 ) -> RunOutput {
+    // Watchdog test hook: pretend the named workload's simulation hung.
+    // The sleep is bounded so an un-supervised test run still finishes.
+    if std::env::var("STTGPU_RUN_HANG").is_ok_and(|v| v == workload.name) {
+        std::thread::sleep(std::time::Duration::from_secs(60));
+    }
     let mut scaled = if (plan.scale - 1.0).abs() < 1e-9 {
         workload.clone()
     } else {
@@ -254,29 +275,96 @@ fn run_config_once(
     }
 }
 
-/// Fallible [`run_config`]: catches a simulation panic, retries with a
-/// deterministically salted seed up to [`MAX_RUN_ATTEMPTS`] times, and
-/// reports [`RunError::Panicked`] if every attempt crashed. Panic
-/// isolation means one poisoned run cannot abort a whole sweep.
+/// How one supervised simulation attempt ended.
+enum AttemptOutcome {
+    Done(Box<RunOutput>),
+    Panicked(String),
+    TimedOut,
+}
+
+/// Runs one attempt, supervised by the plan's watchdog when set.
+///
+/// With a timeout the simulation runs on a dedicated thread and the
+/// supervisor waits on a channel with a deadline. On expiry the hung
+/// thread is **abandoned**, not killed — Rust has no safe thread
+/// cancellation — so it burns a core until the process exits; that is
+/// the documented price of converting a wedged sweep into a typed,
+/// quarantinable error. The retry path salts the seed, so a retried
+/// attempt does not deterministically re-enter the same hang.
+fn run_attempt(
+    cfg: GpuConfig,
+    workload: &Workload,
+    plan: &RunPlan,
+    attempt: u32,
+) -> AttemptOutcome {
+    let Some(secs) = plan.run_timeout_s else {
+        return match catch_unwind(AssertUnwindSafe(|| {
+            run_config_once(cfg, workload, plan, attempt)
+        })) {
+            Ok(out) => AttemptOutcome::Done(Box::new(out)),
+            Err(payload) => AttemptOutcome::Panicked(panic_message(payload.as_ref())),
+        };
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    let w = workload.clone();
+    let p = *plan;
+    let spawned = std::thread::Builder::new()
+        .name(format!("sim-{}-a{attempt}", w.name))
+        .spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| run_config_once(cfg, &w, &p, attempt)));
+            // The supervisor may have given up and dropped the receiver.
+            let _ = tx.send(result);
+        });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(e) => return AttemptOutcome::Panicked(format!("could not spawn run thread: {e}")),
+    };
+    match rx.recv_timeout(std::time::Duration::from_secs(secs)) {
+        Ok(result) => {
+            let _ = handle.join();
+            match result {
+                Ok(out) => AttemptOutcome::Done(Box::new(out)),
+                Err(payload) => AttemptOutcome::Panicked(panic_message(payload.as_ref())),
+            }
+        }
+        Err(_) => AttemptOutcome::TimedOut,
+    }
+}
+
+/// Fallible [`run_config`]: catches a simulation panic (or a watchdog
+/// expiry when the plan sets [`RunPlan::run_timeout_s`]), retries with
+/// a deterministically salted seed up to [`MAX_RUN_ATTEMPTS`] times,
+/// and reports [`RunError::Panicked`] / [`RunError::Timeout`] if every
+/// attempt failed. Panic isolation means one poisoned run cannot abort
+/// a whole sweep.
 pub fn try_run_config(
     cfg: GpuConfig,
     workload: &Workload,
     plan: &RunPlan,
 ) -> Result<RunOutput, RunError> {
     let mut last = String::new();
+    let mut last_timed_out = false;
     for attempt in 0..MAX_RUN_ATTEMPTS {
-        let attempt_cfg = cfg.clone();
-        match catch_unwind(AssertUnwindSafe(|| {
-            run_config_once(attempt_cfg, workload, plan, attempt)
-        })) {
-            Ok(out) => return Ok(out),
-            Err(payload) => last = panic_message(payload.as_ref()),
+        match run_attempt(cfg.clone(), workload, plan, attempt) {
+            AttemptOutcome::Done(out) => return Ok(*out),
+            AttemptOutcome::Panicked(what) => {
+                last = what;
+                last_timed_out = false;
+            }
+            AttemptOutcome::TimedOut => last_timed_out = true,
         }
     }
-    Err(RunError::Panicked {
-        attempts: MAX_RUN_ATTEMPTS,
-        what: last,
-    })
+    if last_timed_out {
+        Err(RunError::Timeout {
+            attempts: MAX_RUN_ATTEMPTS,
+            seconds: plan.run_timeout_s.unwrap_or(0),
+        })
+    } else {
+        Err(RunError::Panicked {
+            attempts: MAX_RUN_ATTEMPTS,
+            what: last,
+        })
+    }
 }
 
 /// Fallible [`run`], with the same retry/isolation semantics as
@@ -336,6 +424,9 @@ pub struct ExecutorStats {
     pub runs_executed: u64,
     /// Requests served from the memoization cache without simulating.
     pub cache_hits: u64,
+    /// Requests served from the persistent result store without
+    /// simulating (0 when no store is attached).
+    pub store_hits: u64,
     /// Total simulated GPU cycles across executed runs.
     pub cycles_simulated: u64,
     /// Invariant violations across every checked run (0 when the plans
@@ -357,8 +448,10 @@ pub struct Executor {
     jobs: usize,
     cache: Mutex<HashMap<RunKey, Arc<OnceLock<Arc<RunOutput>>>>>,
     scenario_cache: crate::replay::ScenarioCache,
+    store: Option<Arc<crate::persist::ResultStore>>,
     runs_executed: AtomicU64,
     cache_hits: AtomicU64,
+    store_hits: AtomicU64,
     cycles_simulated: AtomicU64,
     violations: AtomicU64,
     violation_samples: Mutex<Vec<String>>,
@@ -392,6 +485,20 @@ impl Executor {
         self.jobs
     }
 
+    /// Attaches a persistent result store: from now on every memoized
+    /// run is looked up there before simulating and written back after,
+    /// so a warm store makes repeat invocations execute zero
+    /// simulations. Uncached [`run_config`](Executor::run_config) sweeps
+    /// participate too, keyed by the configuration's full rendering.
+    pub fn set_store(&mut self, store: Arc<crate::persist::ResultStore>) {
+        self.store = Some(store);
+    }
+
+    /// The attached result store, if any.
+    pub fn store(&self) -> Option<&Arc<crate::persist::ResultStore>> {
+        self.store.as_ref()
+    }
+
     /// The scenario memo cache (see
     /// [`run_scenario`](Executor::run_scenario)).
     pub(crate) fn scenario_cache(&self) -> &crate::replay::ScenarioCache {
@@ -403,6 +510,7 @@ impl Executor {
         ExecutorStats {
             runs_executed: self.runs_executed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
             cycles_simulated: self.cycles_simulated.load(Ordering::Relaxed),
             violations: self.violations.load(Ordering::Relaxed),
         }
@@ -421,6 +529,19 @@ impl Executor {
         self.runs_executed.fetch_add(1, Ordering::Relaxed);
         self.cycles_simulated
             .fetch_add(out.metrics.cycles, Ordering::Relaxed);
+        self.record_violations(out);
+    }
+
+    /// Accounts a result served from the persistent store: counted as a
+    /// store hit, not an executed run (no cycles were simulated), but
+    /// its checker report still feeds the violation summary — a stored
+    /// dirty run must stay as loud as a fresh one.
+    fn record_loaded(&self, out: &RunOutput) {
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+        self.record_violations(out);
+    }
+
+    fn record_violations(&self, out: &RunOutput) {
         if let Some(check) = &out.check {
             if !check.is_clean() {
                 self.violations
@@ -525,6 +646,18 @@ impl Executor {
         let mut fresh = false;
         let out = Arc::clone(cell.get_or_init(|| {
             fresh = true;
+            if let Some(store) = &self.store {
+                let key = crate::persist::run_store_key(choice, &workload.name, plan);
+                if let Some(loaded) = store.load(&key) {
+                    let out = Arc::new(loaded);
+                    self.record_loaded(&out);
+                    return out;
+                }
+                let out = Arc::new(run(choice, workload, plan));
+                self.record_run(&out);
+                store.save(&key, &out);
+                return out;
+            }
             let out = Arc::new(run(choice, workload, plan));
             self.record_run(&out);
             out
@@ -535,16 +668,32 @@ impl Executor {
         out
     }
 
-    /// Uncached [`run_config`] for sweeps over ad-hoc configurations
+    /// [`run_config`] for sweeps over ad-hoc configurations
     /// (threshold/associativity/retention ablations). Counted in
-    /// [`stats`](Executor::stats) but never memoized: arbitrary
-    /// `GpuConfig`s have no stable identity to key on.
+    /// [`stats`](Executor::stats) but never memoized in memory:
+    /// arbitrary `GpuConfig`s have no compact identity to key on.
+    /// With a store attached they *are* persisted, keyed by the
+    /// configuration's full rendering (see
+    /// [`config_store_key`](crate::persist::config_store_key)), so warm
+    /// ablation sweeps also skip simulation.
     pub fn run_config(
         &self,
         cfg: GpuConfig,
         workload: &Workload,
         plan: &RunPlan,
     ) -> Arc<RunOutput> {
+        if let Some(store) = &self.store {
+            let key = crate::persist::config_store_key(&cfg, &workload.name, plan);
+            if let Some(loaded) = store.load(&key) {
+                let out = Arc::new(loaded);
+                self.record_loaded(&out);
+                return out;
+            }
+            let out = Arc::new(run_config(cfg, workload, plan));
+            self.record_run(&out);
+            store.save(&key, &out);
+            return out;
+        }
         let out = Arc::new(run_config(cfg, workload, plan));
         self.record_run(&out);
         out
@@ -701,6 +850,72 @@ mod tests {
         let w = suite::by_name("lud").expect("lud");
         let out = try_run(L2Choice::SramBaseline, &w, &tiny_plan()).expect("healthy run");
         assert!(out.metrics.finished);
+    }
+
+    #[test]
+    fn watchdog_leaves_healthy_runs_untouched() {
+        let w = suite::by_name("lud").expect("lud");
+        let plain = try_run(L2Choice::SramBaseline, &w, &tiny_plan()).expect("plain");
+        let watched = try_run(
+            L2Choice::SramBaseline,
+            &w,
+            &tiny_plan().with_run_timeout(600),
+        )
+        .expect("watched");
+        assert_eq!(plain.metrics, watched.metrics);
+        assert_eq!(plain.write_matrix, watched.write_matrix);
+    }
+
+    #[test]
+    fn watchdog_converts_hangs_into_a_typed_timeout() {
+        // The hang hook matches on the workload *name*, so a renamed
+        // clone keeps the hook from touching any other test's runs.
+        let mut w = suite::by_name("lud").expect("lud");
+        w.name = "hang-probe".into();
+        std::env::set_var("STTGPU_RUN_HANG", "hang-probe");
+        let err = try_run(L2Choice::SramBaseline, &w, &tiny_plan().with_run_timeout(1))
+            .expect_err("hung run must not succeed");
+        std::env::remove_var("STTGPU_RUN_HANG");
+        assert_eq!(
+            err,
+            RunError::Timeout {
+                attempts: MAX_RUN_ATTEMPTS,
+                seconds: 1
+            }
+        );
+    }
+
+    #[test]
+    fn executor_serves_warm_runs_from_the_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "sttgpu-exec-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(crate::persist::ResultStore::open(&dir).expect("open store"));
+        let w = suite::by_name("lud").expect("lud");
+        let plan = tiny_plan();
+
+        let mut cold = Executor::new(1);
+        cold.set_store(Arc::clone(&store));
+        let a = cold.run(L2Choice::SramBaseline, &w, &plan);
+        let ac = cold.run_config(gpu_config(L2Choice::TwoPartC1), &w, &plan);
+        let s = cold.stats();
+        assert_eq!((s.runs_executed, s.store_hits), (2, 0));
+
+        // A fresh executor sharing the store simulates nothing.
+        let mut warm = Executor::new(1);
+        warm.set_store(Arc::clone(&store));
+        let b = warm.run(L2Choice::SramBaseline, &w, &plan);
+        let bc = warm.run_config(gpu_config(L2Choice::TwoPartC1), &w, &plan);
+        let s = warm.stats();
+        assert_eq!((s.runs_executed, s.store_hits), (0, 2));
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.write_matrix, b.write_matrix);
+        assert_eq!(ac.metrics, bc.metrics);
+        assert_eq!(ac.two_part, bc.two_part);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -124,6 +124,61 @@ fn killed_sweep_resumes_to_byte_identical_artefacts() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// `--resume` against a journal written by an incompatible invocation
+/// (different plan, journal version, or store generation) must refuse
+/// with a typed mismatch error instead of trusting its completion
+/// records — and a plain rerun (no `--resume`) must start a fresh
+/// journal and succeed.
+#[test]
+fn resume_refuses_a_mismatched_journal() {
+    let dir = fresh_dir("mismatch");
+    let status = repro_cmd(&dir, &[]).status().expect("spawn repro");
+    assert!(status.success(), "seed run failed");
+    let journal = dir.join("repro.journal");
+    let text = fs::read_to_string(&journal).expect("journal");
+    assert!(
+        text.starts_with("sttgpu-journal v"),
+        "journal must begin with a version header:\n{text}"
+    );
+
+    // Same artefacts, different scale: the header no longer matches.
+    let output = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", "0.03", "--jobs", "2", "--resume", "--out"])
+        .arg(&dir)
+        .args(ARTEFACTS)
+        .current_dir(&dir)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        !output.status.success(),
+        "a mismatched journal must fail --resume"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("resume journal mismatch"),
+        "expected a typed mismatch error, got:\n{stderr}"
+    );
+
+    // An unversioned (v1-era) journal is also a typed refusal.
+    fs::write(&journal, "ok table1 scale=3f947ae147ae147b\n").expect("rewrite journal");
+    let output = repro_cmd(&dir, &["--resume"])
+        .output()
+        .expect("spawn repro");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("no version header"),
+        "expected the unversioned-journal refusal, got:\n{stderr}"
+    );
+
+    // Without --resume the stale journal is simply replaced.
+    let status = repro_cmd(&dir, &[]).status().expect("spawn repro");
+    assert!(status.success(), "non-resume rerun must start fresh");
+    let text = fs::read_to_string(&journal).expect("journal");
+    assert!(text.starts_with("sttgpu-journal v"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// A panicking artefact is quarantined: the sweep continues, the failure
 /// is reported in QUARANTINE.txt, and the exit code is nonzero.
 #[test]
@@ -155,7 +210,7 @@ fn panicking_artefact_is_quarantined_without_aborting_the_sweep() {
     );
     assert!(!dir.join("table1.txt").is_file());
     let journal = fs::read_to_string(dir.join("repro.journal")).expect("journal");
-    assert!(journal.lines().any(|l| l.starts_with("ok table2 ")));
-    assert!(!journal.lines().any(|l| l.starts_with("ok table1 ")));
+    assert!(journal.lines().any(|l| l == "ok table2"));
+    assert!(!journal.lines().any(|l| l.starts_with("ok table1")));
     let _ = fs::remove_dir_all(&dir);
 }

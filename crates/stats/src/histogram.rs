@@ -98,6 +98,32 @@ impl Histogram {
         self.counts.clone()
     }
 
+    /// The configured inclusive upper bounds (the overflow bucket is
+    /// implicit and not listed).
+    pub fn bounds(&self) -> Vec<u64> {
+        self.bounds.clone()
+    }
+
+    /// Rebuilds a histogram from parts previously captured via
+    /// [`bounds`](Self::bounds), [`counts`](Self::counts) and
+    /// [`total`](Self::total) — the persistence path. Returns `None`
+    /// instead of panicking when the parts are inconsistent (bounds not
+    /// strictly increasing, or a count-vector length that does not match
+    /// the bounds), so untrusted bytes can never poison an invariant.
+    pub fn try_from_parts(bounds: Vec<u64>, counts: Vec<u64>, total: u64) -> Option<Self> {
+        if !bounds.windows(2).all(|w| w[0] < w[1]) {
+            return None;
+        }
+        if counts.len() != bounds.len() + 1 {
+            return None;
+        }
+        Some(Histogram {
+            bounds,
+            counts,
+            total,
+        })
+    }
+
     /// Fraction of samples in bucket `idx`, or 0.0 when empty.
     ///
     /// # Panics
@@ -180,6 +206,19 @@ impl fmt::Display for Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parts_round_trip_and_reject_inconsistency() {
+        let mut h = Histogram::new(&[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(5000);
+        let back =
+            Histogram::try_from_parts(h.bounds(), h.counts(), h.total()).expect("consistent parts");
+        assert_eq!(back, h);
+        assert!(Histogram::try_from_parts(vec![10, 10], vec![0, 0, 0], 0).is_none());
+        assert!(Histogram::try_from_parts(vec![10, 100], vec![0, 0], 0).is_none());
+    }
 
     #[test]
     fn boundaries_are_inclusive() {

@@ -1,0 +1,262 @@
+//! Little-endian encode/decode helpers for store payloads.
+//!
+//! Payloads are validated by the entry checksum *before* they reach a
+//! decoder, so a [`CodecError`] normally means a versioning bug rather
+//! than corruption — but decoders still never panic: every read is
+//! bounds-checked and every failure is typed, mirroring the discipline of
+//! the entry format itself.
+
+use std::fmt;
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset the decoder had reached.
+    pub offset: usize,
+    /// What it expected there.
+    pub what: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload offset {}: {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only payload encoder.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `f64` by bit pattern.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(u8::from(v))
+    }
+
+    /// Appends a collection length.
+    pub fn len(&mut self, n: usize) -> &mut Self {
+        self.u64(n as u64)
+    }
+
+    /// Appends a length-prefixed string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.len(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+}
+
+/// Cursor-based payload decoder. Every accessor is bounds-checked.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// A decoder over `buf`, positioned at its start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn fail(&self, what: impl Into<String>) -> CodecError {
+        CodecError {
+            offset: self.pos,
+            what: what.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| self.fail(format!("{n} more bytes")))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool; any byte other than 0/1 is an error.
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(self.fail(format!("bool byte, got {b:#04x}"))),
+        }
+    }
+
+    /// Reads a collection length. Every encoded element occupies at
+    /// least one byte, so a length exceeding the bytes remaining is
+    /// rejected up front — a mangled length can never drive a huge
+    /// allocation.
+    #[allow(clippy::len_without_is_empty)] // reads a length prefix; not a container
+    pub fn len(&mut self) -> Result<usize, CodecError> {
+        let n = self.u64()?;
+        let remaining = self.buf.len() - self.pos;
+        match usize::try_from(n) {
+            Ok(n) if n <= remaining => Ok(n),
+            _ => Err(self.fail(format!(
+                "plausible length ({} bytes left), got {n}",
+                remaining
+            ))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| self.fail("valid UTF-8"))
+    }
+
+    /// Whether the cursor consumed the whole buffer.
+    pub fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Asserts the buffer is fully consumed — decoders call this last so
+    /// trailing bytes (a version skew symptom) are caught.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.finished() {
+            Ok(())
+        } else {
+            Err(self.fail(format!(
+                "end of payload, {} bytes left",
+                self.buf.len() - self.pos
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_type() {
+        let mut e = Enc::new();
+        e.u8(7)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX)
+            .f64(-0.25)
+            .bool(true)
+            .bool(false)
+            .str("hello κόσμε")
+            .len(3)
+            .u8(1)
+            .u8(2)
+            .u8(3);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.f64().unwrap(), -0.25);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        assert_eq!(d.str().unwrap(), "hello κόσμε");
+        assert_eq!(d.len().unwrap(), 3);
+        assert_eq!(d.u8().unwrap(), 1);
+        assert_eq!(d.u8().unwrap(), 2);
+        assert_eq!(d.u8().unwrap(), 3);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn short_reads_are_typed() {
+        let mut d = Dec::new(&[1, 2, 3]);
+        assert!(d.u64().is_err());
+        let mut d = Dec::new(&[]);
+        assert!(d.u8().is_err());
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_typed() {
+        let mut d = Dec::new(&[9]);
+        assert!(d.bool().is_err());
+        let mut e = Enc::new();
+        e.len(2).u8(0xFF).u8(0xFE);
+        let bytes = e.finish();
+        assert!(Dec::new(&bytes).str().is_err());
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_without_allocating() {
+        let mut e = Enc::new();
+        e.u64(u64::MAX / 2);
+        let bytes = e.finish();
+        assert!(Dec::new(&bytes).len().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_caught() {
+        let mut e = Enc::new();
+        e.u8(1).u8(2);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        d.u8().unwrap();
+        assert!(d.expect_end().is_err());
+    }
+}

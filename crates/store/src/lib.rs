@@ -1,0 +1,882 @@
+//! Crash-safe, content-addressed on-disk result store.
+//!
+//! A [`Store`] maps 128-bit [`Key`]s (stable hashes of whatever identifies
+//! a result — build one with [`StableHasher`]) to opaque payload bytes.
+//! It is designed for the experiment harness's "compute once, reuse across
+//! invocations" discipline, so every design choice favours *never trusting
+//! its own bytes*:
+//!
+//! * **Versioned entries.** Every entry file carries a magic, a format
+//!   version, the full key it claims to hold, the payload length and a
+//!   checksum over everything before the checksum itself. A reader
+//!   validates all of it before handing a single payload byte out.
+//! * **Atomic commits.** Writers write a unique temp file in the store
+//!   directory and `rename` it into place; a crash mid-write leaves a
+//!   temp file (garbage-collected on the next writer open), never a torn
+//!   entry under a live name.
+//! * **Typed corruption.** Every way an entry can be wrong surfaces as a
+//!   [`StoreError`] — truncation at any byte, a flip in any field, an
+//!   unknown version — never a panic. [`Store::get`] distinguishes
+//!   *corruption* (the entry is quarantined and reported so the caller
+//!   recomputes) from *infrastructure failure* (I/O errors the caller
+//!   should degrade on).
+//! * **Single-writer lock.** [`Store::open`] takes a lock file holding
+//!   the writer's PID, kept fresh by a heartbeat thread. A second
+//!   concurrent open observes a live lock and falls back to **read-only**
+//!   mode: it serves hits from committed entries (renames are atomic, so
+//!   a committed entry is always whole) and silently skips writes. A lock
+//!   whose process is dead — or whose heartbeat went stale — is broken
+//!   and taken over.
+//!
+//! The [`codec`] module provides the little-endian encode/decode helpers
+//! payload serializers build on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub mod codec;
+
+/// File magic identifying a store entry.
+pub const MAGIC: [u8; 8] = *b"STTGSTO\0";
+
+/// Newest entry-format version this crate writes and understands.
+pub const VERSION: u16 = 1;
+
+/// Fixed byte cost of an entry around its payload:
+/// magic (8) + version (2) + key (16) + payload length (8) + checksum (8).
+pub const ENTRY_OVERHEAD: usize = 8 + 2 + 16 + 8 + 8;
+
+/// Seconds without a heartbeat after which a lock whose owner cannot be
+/// probed is considered stale.
+const STALE_LOCK_SECS: u64 = 120;
+
+/// Heartbeat refresh cadence, seconds (kept well under the stale window).
+const HEARTBEAT_SECS: u64 = 15;
+
+/// A 128-bit content key. Produce one with [`StableHasher`]; the hex
+/// rendering doubles as the entry's file name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key(pub [u8; 16]);
+
+impl Key {
+    /// Lower-case hex rendering (32 chars), used as the entry file stem.
+    pub fn hex(&self) -> String {
+        let mut s = String::with_capacity(32);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One FNV-1a step. Multiplication by an odd constant and xor are both
+/// bijective on `u64`, so any single-byte change in the input is
+/// guaranteed to change the final value.
+fn fnv_step(h: u64, b: u8) -> u64 {
+    (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+}
+
+/// Checksum over a byte slice: FNV-1a with the length folded in, so a
+/// truncated-but-prefix-consistent stream still mismatches.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h = fnv_step(h, b);
+    }
+    for b in (bytes.len() as u64).to_le_bytes() {
+        h = fnv_step(h, b);
+    }
+    h
+}
+
+/// A stable (process-, platform- and run-independent) 128-bit hasher for
+/// building [`Key`]s from typed fields. Two independently seeded FNV-1a
+/// lanes; strings and byte slices are length-prefixed so field boundaries
+/// cannot alias (`("ab", "c")` never collides with `("a", "bc")`).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    lo: u64,
+    hi: u64,
+}
+
+impl StableHasher {
+    /// A hasher seeded with a domain-separation tag (e.g. a format name).
+    pub fn new(tag: &str) -> Self {
+        let mut h = StableHasher {
+            lo: FNV_OFFSET,
+            // A different odd offset decorrelates the second lane.
+            hi: FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15,
+        };
+        h.str(tag);
+        h
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.lo = fnv_step(self.lo, b);
+        self.hi = fnv_step(self.hi, b.wrapping_add(0x5f));
+    }
+
+    /// Feeds raw bytes (length-prefixed).
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        self.u64(bytes.len() as u64);
+        for &b in bytes {
+            self.byte(b);
+        }
+        self
+    }
+
+    /// Feeds a string (length-prefixed UTF-8 bytes).
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.bytes(s.as_bytes())
+    }
+
+    /// Feeds a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+        self
+    }
+
+    /// Feeds a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.u64(u64::from(v))
+    }
+
+    /// Feeds a bool.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u64(u64::from(v))
+    }
+
+    /// Feeds an `f64` by bit pattern (keys are built from *constructed*
+    /// plan fields, so bit equality is the right identity).
+    pub fn f64_bits(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Finalizes into a [`Key`].
+    pub fn finish(&self) -> Key {
+        let mut k = [0u8; 16];
+        k[..8].copy_from_slice(&self.lo.to_le_bytes());
+        k[8..].copy_from_slice(&self.hi.to_le_bytes());
+        Key(k)
+    }
+}
+
+/// Every way the store can fail. Corruption modes are typed so callers
+/// can quarantine-and-recompute; infrastructure modes ([`StoreError::Io`],
+/// [`StoreError::BadMeta`]) tell callers to degrade to memory-only
+/// operation.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The rendered error.
+        what: String,
+    },
+    /// The entry does not start with [`MAGIC`].
+    BadMagic,
+    /// The entry's format version is zero or newer than this build.
+    UnsupportedVersion(u16),
+    /// The entry's stored key is not the key it was looked up under.
+    KeyMismatch,
+    /// The entry ends before its own framing says it should.
+    Truncated,
+    /// The entry has bytes after its checksum.
+    TrailingBytes,
+    /// The entry's checksum does not match its contents.
+    BadChecksum {
+        /// Checksum stored in the entry.
+        stored: u64,
+        /// Checksum recomputed over the entry bytes.
+        computed: u64,
+    },
+    /// The store's meta file exists but does not describe a compatible
+    /// store (wrong tool, wrong version, or mangled bytes).
+    BadMeta {
+        /// What was wrong with it.
+        what: String,
+    },
+    /// A payload failed its domain-level decode after passing the
+    /// checksum — reserved for callers layering codecs on top.
+    Payload {
+        /// What the payload decoder rejected.
+        what: String,
+    },
+}
+
+impl StoreError {
+    /// Whether this error means *the entry's bytes are bad* (quarantine
+    /// and recompute) as opposed to *the store machinery failed*
+    /// (degrade).
+    pub fn is_corruption(&self) -> bool {
+        !matches!(self, StoreError::Io { .. } | StoreError::BadMeta { .. })
+    }
+
+    fn io(path: &Path, e: io::Error) -> Self {
+        StoreError::Io {
+            path: path.display().to_string(),
+            what: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, what } => write!(f, "store i/o error on {path}: {what}"),
+            StoreError::BadMagic => write!(f, "not a store entry (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported entry version {v} (this build reads <= {VERSION})"
+                )
+            }
+            StoreError::KeyMismatch => write!(f, "entry's stored key does not match its name"),
+            StoreError::Truncated => write!(f, "entry truncated"),
+            StoreError::TrailingBytes => write!(f, "entry has trailing bytes after its checksum"),
+            StoreError::BadChecksum { stored, computed } => write!(
+                f,
+                "entry checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            StoreError::BadMeta { what } => write!(f, "store meta file is not usable: {what}"),
+            StoreError::Payload { what } => write!(f, "entry payload failed to decode: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Serializes one entry: header, payload, trailing checksum.
+pub fn encode_entry(key: &Key, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(ENTRY_OVERHEAD + payload.len());
+    buf.extend_from_slice(&MAGIC);
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.extend_from_slice(&key.0);
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let sum = checksum(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Validates one entry's bytes and returns its payload. Pure over the
+/// byte slice: every corruption mode yields a typed error, never a panic.
+/// When `expect` is given, the entry's stored key must match it.
+pub fn decode_entry(bytes: &[u8], expect: Option<&Key>) -> Result<Vec<u8>, StoreError> {
+    if bytes.len() < 8 {
+        // Can't even tell what this is; a prefix of the magic counts as
+        // a truncated entry, anything else as a foreign file.
+        return if MAGIC.starts_with(bytes) {
+            Err(StoreError::Truncated)
+        } else {
+            Err(StoreError::BadMagic)
+        };
+    }
+    if bytes[..8] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    if bytes.len() < ENTRY_OVERHEAD {
+        return Err(StoreError::Truncated);
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if version == 0 || version > VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let mut key = [0u8; 16];
+    key.copy_from_slice(&bytes[10..26]);
+    if let Some(expect) = expect {
+        if key != expect.0 {
+            return Err(StoreError::KeyMismatch);
+        }
+    }
+    let mut len8 = [0u8; 8];
+    len8.copy_from_slice(&bytes[26..34]);
+    let payload_len = u64::from_le_bytes(len8);
+    let Ok(payload_len) = usize::try_from(payload_len) else {
+        return Err(StoreError::Truncated);
+    };
+    let Some(total) = payload_len.checked_add(ENTRY_OVERHEAD) else {
+        return Err(StoreError::Truncated);
+    };
+    if bytes.len() < total {
+        return Err(StoreError::Truncated);
+    }
+    if bytes.len() > total {
+        return Err(StoreError::TrailingBytes);
+    }
+    let body = &bytes[..total - 8];
+    let mut sum8 = [0u8; 8];
+    sum8.copy_from_slice(&bytes[total - 8..]);
+    let stored = u64::from_le_bytes(sum8);
+    let computed = checksum(body);
+    if stored != computed {
+        return Err(StoreError::BadChecksum { stored, computed });
+    }
+    Ok(body[ENTRY_OVERHEAD - 8..].to_vec())
+}
+
+/// What [`Store::get`] found under a key.
+#[derive(Debug)]
+pub enum Fetch {
+    /// A valid entry; here is its payload.
+    Hit(Vec<u8>),
+    /// No entry under this key.
+    Miss,
+    /// An entry existed but its bytes were bad; it has been moved to the
+    /// quarantine directory and the caller should recompute.
+    Corrupt(StoreError),
+}
+
+/// Writer-lock guard: owns the lock file and the heartbeat thread that
+/// keeps its mtime fresh.
+#[derive(Debug)]
+struct LockGuard {
+    path: PathBuf,
+    stop: Arc<AtomicBool>,
+    heartbeat: Option<JoinHandle<()>>,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.heartbeat.take() {
+            let _ = h.join();
+        }
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+fn lock_contents() -> String {
+    format!("pid {}\n", std::process::id())
+}
+
+/// Whether the process named in a lock file can be shown to be dead.
+/// Returns `None` when liveness cannot be determined on this platform.
+fn lock_owner_dead(contents: &str) -> Option<bool> {
+    let pid: u64 = contents.strip_prefix("pid ")?.trim().parse().ok()?;
+    if !Path::new("/proc").is_dir() {
+        return None;
+    }
+    Some(!Path::new(&format!("/proc/{pid}")).exists())
+}
+
+/// Whether an existing lock file is stale and may be broken: its owner is
+/// provably dead, or (when liveness is unknowable) its heartbeat mtime is
+/// older than [`STALE_LOCK_SECS`].
+fn lock_is_stale(path: &Path) -> bool {
+    if let Ok(contents) = fs::read_to_string(path) {
+        if let Some(dead) = lock_owner_dead(&contents) {
+            return dead;
+        }
+    }
+    match fs::metadata(path).and_then(|m| m.modified()) {
+        Ok(mtime) => match mtime.elapsed() {
+            Ok(age) => age.as_secs() > STALE_LOCK_SECS,
+            // mtime in the future: clock skew, treat as fresh.
+            Err(_) => false,
+        },
+        // The lock vanished between the existence check and here.
+        Err(_) => true,
+    }
+}
+
+fn try_acquire_lock(path: &Path) -> Result<Option<LockGuard>, StoreError> {
+    for _ in 0..4 {
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+        {
+            Ok(mut f) => {
+                f.write_all(lock_contents().as_bytes())
+                    .map_err(|e| StoreError::io(path, e))?;
+                let stop = Arc::new(AtomicBool::new(false));
+                let beat_stop = Arc::clone(&stop);
+                let beat_path = path.to_path_buf();
+                let heartbeat = std::thread::Builder::new()
+                    .name("store-heartbeat".into())
+                    .spawn(move || {
+                        let mut since_touch = 0u64;
+                        while !beat_stop.load(Ordering::Relaxed) {
+                            std::thread::sleep(Duration::from_millis(200));
+                            since_touch += 200;
+                            if since_touch >= HEARTBEAT_SECS * 1000 {
+                                since_touch = 0;
+                                // Rewriting the contents refreshes mtime;
+                                // the single small write is effectively
+                                // atomic for the readers that parse it.
+                                let _ = fs::write(&beat_path, lock_contents());
+                            }
+                        }
+                    })
+                    .map_err(|e| StoreError::Io {
+                        path: path.display().to_string(),
+                        what: format!("cannot spawn heartbeat thread: {e}"),
+                    })?;
+                return Ok(Some(LockGuard {
+                    path: path.to_path_buf(),
+                    stop,
+                    heartbeat: Some(heartbeat),
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                if lock_is_stale(path) {
+                    // Break the stale lock and retry the exclusive create.
+                    let _ = fs::remove_file(path);
+                    continue;
+                }
+                return Ok(None);
+            }
+            Err(e) => return Err(StoreError::io(path, e)),
+        }
+    }
+    Ok(None)
+}
+
+const META_LINE: &str = "sttgpu-store v1\n";
+
+/// A content-addressed result store rooted at one directory.
+///
+/// Layout:
+///
+/// ```text
+/// ROOT/STORE.meta        format stamp, written once
+/// ROOT/LOCK              single-writer lock (PID + heartbeat mtime)
+/// ROOT/objects/<hex>.ent committed entries, named by key
+/// ROOT/quarantine/...    corrupt entries moved aside, never reread
+/// ```
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    objects: PathBuf,
+    quarantine: PathBuf,
+    lock: Option<LockGuard>,
+    tmp_counter: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if necessary) the store at `root`. Takes the
+    /// writer lock when free or stale; otherwise the store opens
+    /// **read-only** ([`read_only`](Store::read_only)) and
+    /// [`put`](Store::put) becomes a no-op.
+    ///
+    /// Fails with [`StoreError::Io`] when the directories cannot be
+    /// created and [`StoreError::BadMeta`] when `root` already holds
+    /// something that is not a compatible store — both are *degrade*
+    /// conditions for callers, not panics.
+    pub fn open(root: &Path) -> Result<Store, StoreError> {
+        let objects = root.join("objects");
+        let quarantine = root.join("quarantine");
+        for dir in [root, &objects, &quarantine] {
+            fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, e))?;
+        }
+        let meta = root.join("STORE.meta");
+        match fs::read_to_string(&meta) {
+            Ok(text) => {
+                if text != META_LINE {
+                    return Err(StoreError::BadMeta {
+                        what: format!(
+                            "expected {:?}, found {:?}",
+                            META_LINE.trim(),
+                            text.lines().next().unwrap_or("")
+                        ),
+                    });
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                write_atomic(&meta, META_LINE.as_bytes(), &objects, 0)?;
+            }
+            Err(e) => return Err(StoreError::io(&meta, e)),
+        }
+        let lock = try_acquire_lock(&root.join("LOCK"))?;
+        let store = Store {
+            root: root.to_path_buf(),
+            objects,
+            quarantine,
+            lock,
+            tmp_counter: AtomicU64::new(1),
+        };
+        if !store.read_only() {
+            store.sweep_temp_files();
+        }
+        Ok(store)
+    }
+
+    /// Whether this handle lost the single-writer race and serves reads
+    /// only.
+    pub fn read_only(&self) -> bool {
+        self.lock.is_none()
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The committed path an entry for `key` lives at.
+    pub fn entry_path(&self, key: &Key) -> PathBuf {
+        self.objects.join(format!("{}.ent", key.hex()))
+    }
+
+    /// Removes temp files abandoned by crashed writers. Only the lock
+    /// holder sweeps: a temp file is only ever written by a lock holder,
+    /// so any temp file seen by the *current* holder is dead.
+    fn sweep_temp_files(&self) {
+        let Ok(entries) = fs::read_dir(&self.objects) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if name.to_string_lossy().starts_with(".tmp-") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// Looks up `key`. Corrupt entries are moved to the quarantine
+    /// directory and reported as [`Fetch::Corrupt`] so the caller
+    /// recomputes; an `Err` means the store machinery itself failed and
+    /// the caller should degrade.
+    pub fn get(&self, key: &Key) -> Result<Fetch, StoreError> {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Fetch::Miss),
+            Err(e) => return Err(StoreError::io(&path, e)),
+        };
+        match decode_entry(&bytes, Some(key)) {
+            Ok(payload) => Ok(Fetch::Hit(payload)),
+            Err(e) => {
+                self.quarantine_entry(key);
+                Ok(Fetch::Corrupt(e))
+            }
+        }
+    }
+
+    /// Moves the entry under `key` (if any) into the quarantine
+    /// directory, never to be read again. Also used by callers whose
+    /// *payload*-level decode failed after the checksum passed.
+    pub fn quarantine_entry(&self, key: &Key) {
+        let src = self.entry_path(key);
+        // A unique destination so repeated quarantines never collide.
+        let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+        let dst = self
+            .quarantine
+            .join(format!("{}-{}-{n}.ent", key.hex(), std::process::id()));
+        if fs::rename(&src, &dst).is_err() {
+            // Rename can fail across filesystems or on exotic setups;
+            // deleting still protects future reads.
+            let _ = fs::remove_file(&src);
+        }
+    }
+
+    /// Number of quarantined entry files currently on disk.
+    pub fn quarantined_count(&self) -> usize {
+        fs::read_dir(&self.quarantine)
+            .map(|d| d.flatten().count())
+            .unwrap_or(0)
+    }
+
+    /// Commits `payload` under `key` atomically (write temp, rename).
+    /// Returns `Ok(false)` without writing when the store is read-only.
+    /// An `Err` means the write could not be committed (disk full,
+    /// permissions): the caller should degrade, the store is unharmed.
+    pub fn put(&self, key: &Key, payload: &[u8]) -> Result<bool, StoreError> {
+        if self.read_only() {
+            return Ok(false);
+        }
+        let bytes = encode_entry(key, payload);
+        let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+        write_atomic(&self.entry_path(key), &bytes, &self.objects, n)?;
+        Ok(true)
+    }
+
+    /// Number of committed entries currently on disk.
+    pub fn entry_count(&self) -> usize {
+        fs::read_dir(&self.objects)
+            .map(|d| {
+                d.flatten()
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "ent"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+/// Writes `bytes` to `path` atomically: a unique temp file in `tmp_dir`
+/// (same filesystem, so the rename is atomic), then rename into place.
+fn write_atomic(path: &Path, bytes: &[u8], tmp_dir: &Path, n: u64) -> Result<(), StoreError> {
+    let tmp = tmp_dir.join(format!(".tmp-{}-{n}", std::process::id()));
+    let write = || -> io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(())
+    };
+    if let Err(e) = write() {
+        let _ = fs::remove_file(&tmp);
+        return Err(StoreError::io(&tmp, e));
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(StoreError::io(path, e));
+    }
+    Ok(())
+}
+
+/// Reads and validates the entry file at `path` against `key`.
+/// Convenience for tests and tooling; [`Store::get`] is the quarantining
+/// front door.
+pub fn read_entry_file(path: &Path, key: &Key) -> Result<Vec<u8>, StoreError> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| StoreError::io(path, e))?;
+    decode_entry(&bytes, Some(key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sttgpu-store-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key_of(s: &str) -> Key {
+        StableHasher::new("test").str(s).finish()
+    }
+
+    #[test]
+    fn stable_hasher_is_deterministic_and_sensitive() {
+        let a = StableHasher::new("t").str("x").u64(7).finish();
+        let b = StableHasher::new("t").str("x").u64(7).finish();
+        assert_eq!(a, b);
+        assert_ne!(a, StableHasher::new("t").str("x").u64(8).finish());
+        assert_ne!(a, StableHasher::new("u").str("x").u64(7).finish());
+        // Length prefixing keeps field boundaries from aliasing.
+        let ab_c = StableHasher::new("t").str("ab").str("c").finish();
+        let a_bc = StableHasher::new("t").str("a").str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn key_hex_is_32_lowercase_chars() {
+        let h = key_of("k").hex();
+        assert_eq!(h.len(), 32);
+        assert!(h
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase()));
+    }
+
+    #[test]
+    fn entry_round_trips() {
+        let key = key_of("roundtrip");
+        for payload in [&b""[..], &b"x"[..], &[0u8; 1000][..]] {
+            let entry = encode_entry(&key, payload);
+            assert_eq!(decode_entry(&entry, Some(&key)).expect("decode"), payload);
+            assert_eq!(decode_entry(&entry, None).expect("decode"), payload);
+        }
+    }
+
+    #[test]
+    fn wrong_key_is_typed() {
+        let entry = encode_entry(&key_of("a"), b"payload");
+        let err = decode_entry(&entry, Some(&key_of("b"))).expect_err("must fail");
+        assert!(matches!(err, StoreError::KeyMismatch), "{err}");
+    }
+
+    #[test]
+    fn every_truncation_is_typed() {
+        let entry = encode_entry(&key_of("trunc"), b"some payload bytes");
+        for cut in 0..entry.len() {
+            let err = decode_entry(&entry[..cut], Some(&key_of("trunc")))
+                .expect_err("shorter entry must fail");
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated | StoreError::BadMagic | StoreError::BadChecksum { .. }
+                ),
+                "cut {cut}: unexpected {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_typed() {
+        let key = key_of("flip");
+        let entry = encode_entry(&key, b"payload under test");
+        for pos in 0..entry.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut bad = entry.clone();
+                bad[pos] ^= flip;
+                assert!(
+                    decode_entry(&bad, Some(&key)).is_err(),
+                    "flip at {pos} ({flip:#x}) went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn store_put_get_round_trips() {
+        let root = tmp_root("putget");
+        let store = Store::open(&root).expect("open");
+        assert!(!store.read_only());
+        let key = key_of("entry");
+        assert!(matches!(store.get(&key).expect("get"), Fetch::Miss));
+        assert!(store.put(&key, b"hello").expect("put"));
+        match store.get(&key).expect("get") {
+            Fetch::Hit(p) => assert_eq!(p, b"hello"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert_eq!(store.entry_count(), 1);
+        drop(store);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_and_reported() {
+        let root = tmp_root("quarantine");
+        let store = Store::open(&root).expect("open");
+        let key = key_of("corrupt-me");
+        store.put(&key, b"precious bytes").expect("put");
+        let path = store.entry_path(&key);
+        let mut bytes = fs::read(&path).expect("read entry");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).expect("rewrite");
+        match store.get(&key).expect("get") {
+            Fetch::Corrupt(e) => assert!(e.is_corruption(), "{e}"),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        assert!(!path.exists(), "corrupt entry must leave the objects dir");
+        assert_eq!(store.quarantined_count(), 1);
+        // The next lookup is a clean miss: recompute territory.
+        assert!(matches!(store.get(&key).expect("get"), Fetch::Miss));
+        drop(store);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn second_open_is_read_only_and_skips_writes() {
+        let root = tmp_root("lock");
+        let writer = Store::open(&root).expect("open writer");
+        assert!(!writer.read_only());
+        let key = key_of("shared");
+        writer.put(&key, b"from writer").expect("put");
+        let reader = Store::open(&root).expect("open reader");
+        assert!(reader.read_only(), "live lock must force read-only");
+        assert!(!reader.put(&key_of("other"), b"x").expect("put"));
+        match reader.get(&key).expect("get") {
+            Fetch::Hit(p) => assert_eq!(p, b"from writer"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        drop(reader);
+        // The writer still holds the lock.
+        assert!(root.join("LOCK").exists());
+        drop(writer);
+        assert!(!root.join("LOCK").exists(), "drop must release the lock");
+        let writer2 = Store::open(&root).expect("reopen");
+        assert!(!writer2.read_only());
+        drop(writer2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn dead_pid_lock_is_broken() {
+        let root = tmp_root("stale");
+        fs::create_dir_all(&root).expect("mkdir");
+        // A PID that cannot be alive (kernel pid_max is far below this).
+        fs::write(root.join("LOCK"), "pid 4294000001\n").expect("plant lock");
+        let store = Store::open(&root).expect("open");
+        if Path::new("/proc").is_dir() {
+            assert!(!store.read_only(), "dead owner's lock must be broken");
+        }
+        drop(store);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn mangled_meta_is_typed() {
+        let root = tmp_root("meta");
+        fs::create_dir_all(&root).expect("mkdir");
+        fs::write(root.join("STORE.meta"), "something else\n").expect("plant meta");
+        let err = Store::open(&root).expect_err("must fail");
+        assert!(matches!(err, StoreError::BadMeta { .. }), "{err}");
+        assert!(!err.is_corruption(), "meta failure is a degrade condition");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crashed_writer_temp_files_are_swept() {
+        let root = tmp_root("sweep");
+        {
+            let store = Store::open(&root).expect("open");
+            store.put(&key_of("live"), b"live").expect("put");
+        }
+        let stray = root.join("objects").join(".tmp-99999-7");
+        fs::write(&stray, b"half-written").expect("plant temp");
+        let store = Store::open(&root).expect("reopen");
+        assert!(!stray.exists(), "writer open must sweep stale temp files");
+        assert_eq!(store.entry_count(), 1);
+        drop(store);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn display_covers_every_variant() {
+        let cases: Vec<(StoreError, &str)> = vec![
+            (
+                StoreError::Io {
+                    path: "/x".into(),
+                    what: "denied".into(),
+                },
+                "i/o error",
+            ),
+            (StoreError::BadMagic, "bad magic"),
+            (StoreError::UnsupportedVersion(9), "version 9"),
+            (StoreError::KeyMismatch, "does not match"),
+            (StoreError::Truncated, "truncated"),
+            (StoreError::TrailingBytes, "trailing"),
+            (
+                StoreError::BadChecksum {
+                    stored: 1,
+                    computed: 2,
+                },
+                "checksum mismatch",
+            ),
+            (StoreError::BadMeta { what: "bad".into() }, "meta"),
+            (StoreError::Payload { what: "bad".into() }, "payload"),
+        ];
+        for (err, fragment) in cases {
+            assert!(
+                err.to_string().contains(fragment),
+                "{err} missing {fragment}"
+            );
+        }
+    }
+}
