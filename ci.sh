@@ -8,8 +8,11 @@
 #                      # canary against the checked-in throughput
 #                      # baseline, a budgeted differential fuzz pass vs
 #                      # the oracle (corner geometries + scenario
-#                      # families), a checked scenario run, and a
-#                      # record -> trace file -> replay round trip
+#                      # families), a checked scenario run, a
+#                      # record -> trace file -> replay round trip,
+#                      # checked runs under both adaptive LLC policies,
+#                      # and an --llc-policy fixed vs default
+#                      # byte-identity comparison
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -34,6 +37,10 @@ if [[ "${1:-}" == "--smoke" ]]; then
 
     echo "==> repro seeded fault-injection run (scale 0.05, --faults 2e-4, --check)"
     ./target/release/repro --scale 0.05 --faults 2e-4 --fault-seed 7 fig8 faults --check > /dev/null
+
+    echo "==> repro adaptive-policy runs (scale 0.05, both adaptive policies, --check)"
+    ./target/release/repro --scale 0.05 --llc-policy adaptive-retention fig8 --check > /dev/null
+    ./target/release/repro --scale 0.05 --llc-policy adaptive-ways fig8 --check > /dev/null
 
     echo "==> repro perf canary (fixed workload vs results/BENCH_repro.json baseline)"
     ./target/release/repro --canary > /dev/null
@@ -71,6 +78,15 @@ if [[ "${1:-}" == "--smoke" ]]; then
         || { echo "store smoke: corrupted entry was not quarantined"; exit 1; }
     cmp "$smoke_tmp/cold/table1.txt" "$smoke_tmp/healed/table1.txt" \
         || { echo "store smoke: recomputed artefact differs"; exit 1; }
+
+    echo "==> repro --llc-policy fixed is byte-identical to the default"
+    policy_args=(--scale 0.05 table1 fig3 fig6)
+    ./target/release/repro "${policy_args[@]}" --out "$smoke_tmp/default" > /dev/null
+    ./target/release/repro "${policy_args[@]}" --llc-policy fixed --out "$smoke_tmp/fixed" > /dev/null
+    for f in table1.txt table1.csv fig3.txt fig3.csv fig6.txt fig6.csv; do
+        cmp "$smoke_tmp/default/$f" "$smoke_tmp/fixed/$f" \
+            || { echo "policy smoke: $f differs between default and --llc-policy fixed"; exit 1; }
+    done
 
     echo "==> repro persistent store: two concurrent invocations share one store"
     ./target/release/repro "${store_args[@]}" --out "$smoke_tmp/conc1" > /dev/null &

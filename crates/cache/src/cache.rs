@@ -75,6 +75,12 @@ impl<M> Line<M> {
         self.dirty = true;
         self.last_write_ns = now_ns;
     }
+
+    /// Overwrites the WWS write count (used by demotion paths whose
+    /// residency restarts the count regardless of the fill's dirtiness).
+    pub fn set_write_count(&mut self, count: u32) {
+        self.write_count = count;
+    }
 }
 
 /// A line evicted (or extracted) from the array, with everything the owner
@@ -117,6 +123,9 @@ pub struct Evicted<M> {
 pub struct SetAssocCache<M> {
     sets: usize,
     ways: usize,
+    /// Ways `[0, active_ways)` are in service; the rest are parked by a
+    /// runtime reconfiguration policy and never selected as victims.
+    active_ways: usize,
     line_bytes: u32,
     policy: ReplacementPolicy,
     lines: Vec<Line<M>>,
@@ -167,6 +176,7 @@ impl<M: Default> SetAssocCache<M> {
         SetAssocCache {
             sets,
             ways,
+            active_ways: ways,
             line_bytes,
             policy,
             lines,
@@ -188,6 +198,60 @@ impl<M: Default> SetAssocCache<M> {
     /// Ways per set.
     pub fn ways(&self) -> usize {
         self.ways
+    }
+
+    /// Ways per set currently in service (≤ [`ways`](Self::ways)).
+    pub fn active_ways(&self) -> usize {
+        self.active_ways
+    }
+
+    /// Changes the number of in-service ways. Shrinking callers must
+    /// first evacuate the parked range with
+    /// [`drain_ways_into`](Self::drain_ways_into): victim selection only
+    /// ever picks ways `[0, n)`, so a valid line left behind in a parked
+    /// way would sit unreachable-for-replacement forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the physical associativity;
+    /// panics in debug builds if a shrink leaves valid lines parked.
+    pub fn set_active_ways(&mut self, n: usize) {
+        assert!(
+            (1..=self.ways).contains(&n),
+            "active ways {n} outside [1, {}]",
+            self.ways
+        );
+        debug_assert!(
+            n >= self.active_ways
+                || (0..self.sets)
+                    .all(|s| { (n..self.ways).all(|w| !self.lines[self.slot(s, w)].valid) }),
+            "shrinking active ways requires draining the parked range first"
+        );
+        self.active_ways = n;
+    }
+
+    /// Invalidates every valid line in ways `[from_way, ways)` across all
+    /// sets — the evacuation step before parking those ways — appending
+    /// each victim (dirty or clean) to `out` in (set, way) order.
+    pub fn drain_ways_into(&mut self, from_way: usize, out: &mut Vec<Evicted<M>>) {
+        for set in 0..self.sets {
+            for way in from_way..self.ways {
+                let slot = self.slot(set, way);
+                if self.lines[slot].valid {
+                    self.stats.invalidations.inc();
+                    self.tags[slot] = INVALID_TAG;
+                    let line = &mut self.lines[slot];
+                    line.valid = false;
+                    out.push(Evicted {
+                        line_addr: line.line_addr,
+                        dirty: line.dirty,
+                        write_count: line.write_count,
+                        last_write_ns: line.last_write_ns,
+                        meta: std::mem::take(&mut line.meta),
+                    });
+                }
+            }
+        }
     }
 
     /// Line size in bytes.
@@ -321,14 +385,15 @@ impl<M: Default> SetAssocCache<M> {
     }
 
     fn victim_way(&mut self, set: usize) -> usize {
+        // Only in-service ways participate; parked ways stay invalid.
         // Invalid lines are free slots.
-        let row = &self.tags[set * self.ways..(set + 1) * self.ways];
+        let row = &self.tags[set * self.ways..set * self.ways + self.active_ways];
         if let Some(w) = row.iter().position(|&t| t == INVALID_TAG) {
             return w;
         }
         match self.policy {
             ReplacementPolicy::Lru | ReplacementPolicy::Fifo => {
-                let stamps = &self.stamps[set * self.ways..(set + 1) * self.ways];
+                let stamps = &self.stamps[set * self.ways..set * self.ways + self.active_ways];
                 stamps
                     .iter()
                     .enumerate()
@@ -336,7 +401,7 @@ impl<M: Default> SetAssocCache<M> {
                     .map(|(w, _)| w)
                     .expect("ways > 0")
             }
-            ReplacementPolicy::Random => (self.xorshift() % self.ways as u64) as usize,
+            ReplacementPolicy::Random => (self.xorshift() % self.active_ways as u64) as usize,
         }
     }
 
@@ -690,6 +755,68 @@ mod tests {
             assert!(c.fill(a, false, a).is_none(), "no eviction while not full");
         }
         assert!(c.fill(8, false, 9).is_some());
+    }
+
+    #[test]
+    fn drain_then_shrink_parks_ways() {
+        let mut c = cache(2, 4);
+        // Fill every way of set 0 (addresses 0,2,4,6 map to set 0) and one
+        // line of set 1.
+        for a in [0u64, 2, 4, 6] {
+            c.fill(a, a == 4, a);
+        }
+        c.fill(1, false, 9);
+        let mut out = Vec::new();
+        c.drain_ways_into(2, &mut out);
+        // Set 0 loses ways 2 and 3 (fill order = way order in an empty
+        // set); set 1 only had way 0 occupied.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|e| e.line_addr == 4 && e.dirty));
+        assert!(out.iter().any(|e| e.line_addr == 6 && !e.dirty));
+        c.set_active_ways(2);
+        assert_eq!(c.active_ways(), 2);
+        // New fills never land in the parked range.
+        c.fill(8, false, 10); // set 0 is full at 2 ways -> evicts
+        for (i, l) in c.iter().enumerate() {
+            let way = i % 4;
+            assert!(way < 2 || !l.is_valid(), "parked way {way} stayed empty");
+        }
+        // Growing back re-enables the ways with no residual state.
+        c.set_active_ways(4);
+        assert!(c.fill(10, false, 11).is_none(), "free parked way reused");
+    }
+
+    #[test]
+    fn victim_selection_respects_active_ways_for_every_policy() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Fifo,
+            ReplacementPolicy::Random,
+        ] {
+            let mut c: SetAssocCache<()> = SetAssocCache::new(1, 4, 128, policy);
+            c.set_active_ways(2);
+            for a in 0..10 {
+                c.fill(a, false, a);
+            }
+            let valid = c.iter().filter(|l| l.is_valid()).count();
+            assert_eq!(valid, 2, "{policy:?} overflowed the active prefix");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_zero_active_ways() {
+        let mut c = cache(2, 4);
+        c.set_active_ways(0);
+    }
+
+    #[test]
+    fn set_write_count_overwrites_wws_history() {
+        let mut c = cache(4, 2);
+        c.fill(5, true, 7);
+        c.peek_mut(5).expect("line").set_write_count(0);
+        assert_eq!(c.peek(5).expect("line").write_count(), 0);
+        assert!(c.peek(5).expect("line").is_dirty(), "dirty bit untouched");
     }
 
     #[test]

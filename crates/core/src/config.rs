@@ -6,6 +6,8 @@ use sttgpu_cache::ReplacementPolicy;
 use sttgpu_device::mtj::RetentionTime;
 use sttgpu_fault::FaultConfig;
 
+use crate::policy::LlcPolicy;
+
 /// A structured reason why a [`TwoPartConfig`] describes an impossible
 /// geometry. Returned by [`TwoPartConfig::validate`]; the panicking
 /// constructors print the same message.
@@ -18,6 +20,16 @@ pub enum ConfigError {
     },
     /// The migration write threshold is zero.
     WriteThreshold,
+    /// The migration write threshold cannot be reached by the saturating
+    /// WWS write counter, or the counter width itself is out of range —
+    /// a block's count would stick below the threshold and migration
+    /// silently never fires.
+    WwsCounterWidth {
+        /// WWS counter width, bits.
+        bits: u32,
+        /// Configured write threshold.
+        threshold: u32,
+    },
     /// A swap buffer has no capacity.
     BufferCapacity,
     /// A part's capacity does not divide into whole sets.
@@ -85,6 +97,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "line size must be a power of two (got {line_bytes} B)")
             }
             ConfigError::WriteThreshold => write!(f, "write threshold must be at least 1"),
+            ConfigError::WwsCounterWidth { bits, threshold } => write!(
+                f,
+                "write threshold {threshold} does not fit a {bits}-bit WWS counter"
+            ),
             ConfigError::BufferCapacity => write!(f, "swap buffers need capacity"),
             ConfigError::PartialSets { part, kb, ways } => write!(
                 f,
@@ -191,6 +207,12 @@ pub struct TwoPartConfig {
     /// HR write count at which a block migrates to LR (paper: 1 — the
     /// modified bit suffices; Fig. 4 sweeps {1, 3, 7, 15}).
     pub write_threshold: u32,
+    /// Width of the saturating per-block WWS write counter, bits. The
+    /// threshold must be reachable: `write_threshold <= 2^bits - 1`.
+    pub wws_counter_bits: u32,
+    /// Runtime policy bundle steering migration/retention/partitioning
+    /// (default: the paper-exact fixed policy).
+    pub policy: LlcPolicy,
     /// Capacity of each swap buffer, blocks (paper: 10).
     pub buffer_blocks: usize,
     /// Wear-rotation period for the LR part, ns: every period the LR is
@@ -238,12 +260,14 @@ impl TwoPartConfig {
             lr_rc_bits: 4,
             hr_rc_bits: 2,
             write_threshold: 1,
+            wws_counter_bits: 4,
             buffer_blocks: 10,
             lr_rotation_period_ns: None,
             refresh_slack_ticks: 0,
             ewt_savings: 0.0,
             search: SearchMode::Sequential,
             replacement: ReplacementPolicy::Lru,
+            policy: LlcPolicy::Fixed,
             fault: FaultConfig::disabled(),
         };
         cfg.assert_valid();
@@ -265,6 +289,16 @@ impl TwoPartConfig {
         }
         if self.write_threshold < 1 {
             return Err(ConfigError::WriteThreshold);
+        }
+        // The WWS counter saturates at 2^bits - 1; a threshold beyond
+        // that is silently unreachable and migration never fires.
+        if !(1..=16).contains(&self.wws_counter_bits)
+            || self.write_threshold > (1u32 << self.wws_counter_bits) - 1
+        {
+            return Err(ConfigError::WwsCounterWidth {
+                bits: self.wws_counter_bits,
+                threshold: self.write_threshold,
+            });
         }
         if self.buffer_blocks < 1 {
             return Err(ConfigError::BufferCapacity);
@@ -410,6 +444,24 @@ impl TwoPartConfig {
     pub fn with_write_threshold(mut self, threshold: u32) -> Self {
         self.write_threshold = threshold;
         self.assert_valid();
+        self
+    }
+
+    /// Returns a copy with a different WWS counter width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current write threshold does not fit the width.
+    pub fn with_wws_counter_bits(mut self, bits: u32) -> Self {
+        self.wws_counter_bits = bits;
+        self.assert_valid();
+        self
+    }
+
+    /// Returns a copy selecting a runtime policy bundle by registry
+    /// value (`--llc-policy`).
+    pub fn with_policy(mut self, policy: LlcPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -636,6 +688,42 @@ mod tests {
             |c| c.hr_retention = RetentionTime::from_nanos(3.0),
             "HR retention too short for a 2-bit counter",
         );
+    }
+
+    #[test]
+    fn validate_rejects_unreachable_write_threshold() {
+        // A 4-bit saturating counter tops out at 15: a threshold of 16
+        // would silently never migrate anything.
+        rejected_with(
+            |c| c.write_threshold = 16,
+            "write threshold 16 does not fit a 4-bit WWS counter",
+        );
+        rejected_with(
+            |c| {
+                c.wws_counter_bits = 2;
+                c.write_threshold = 4;
+            },
+            "does not fit a 2-bit WWS counter",
+        );
+        rejected_with(|c| c.wws_counter_bits = 0, "WWS counter");
+        rejected_with(|c| c.wws_counter_bits = 17, "WWS counter");
+        // The saturation value itself is reachable.
+        let cfg = base().with_write_threshold(15);
+        assert_eq!(cfg.validate(), Ok(()));
+        assert_eq!(
+            base()
+                .with_wws_counter_bits(2)
+                .with_write_threshold(3)
+                .validate(),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn with_policy_selects_named_bundle() {
+        let cfg = base().with_policy(LlcPolicy::AdaptiveRetention);
+        assert_eq!(cfg.policy, LlcPolicy::AdaptiveRetention);
+        assert_eq!(base().policy, LlcPolicy::Fixed);
     }
 
     #[test]

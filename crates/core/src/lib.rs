@@ -45,6 +45,7 @@
 
 mod config;
 mod llc;
+mod policy;
 mod retention;
 mod search;
 mod swap;
@@ -53,6 +54,11 @@ mod wws;
 
 pub use config::{ConfigError, SearchMode, TwoPartConfig};
 pub use llc::{AnyLlc, FillOutcome, LlcModel, LlcStats, ProbeOutcome, SingleLlc};
+pub use policy::{
+    lr_maintenance_floor_ns, lr_tracker_at, EpochActions, HallsRetention, LlcPolicy,
+    MigrationPolicy, PartitionPolicy, PolicyEngine, RetentionPolicy, StaticPartition,
+    StaticRetention, ThresholdMigration, WritePressurePartition, POLICY_EPOCH_NS, RETENTION_LADDER,
+};
 pub use retention::RetentionTracker;
 pub use search::{Part, SearchSelector};
 pub use sttgpu_fault::{FaultConfig, FaultOutcome, FaultPart, FaultPlan};

@@ -1,0 +1,643 @@
+//! Pluggable runtime LLC policies behind trait seams.
+//!
+//! The paper fixes three decisions at design time: the WWS write-threshold
+//! migration rule, the per-part retention targets, and the LR/HR capacity
+//! split. This module lifts each behind a trait — [`MigrationPolicy`],
+//! [`RetentionPolicy`], [`PartitionPolicy`] — and unifies them (plus the
+//! existing replacement hook) in one [`PolicyEngine`] registry selected
+//! from [`TwoPartConfig`] by name.
+//!
+//! Three policies ship:
+//!
+//! * [`LlcPolicy::Fixed`] — the paper-exact configuration. The engine
+//!   never evaluates an epoch, so the refactored cache is observationally
+//!   identical (to the byte) to the pre-trait implementation.
+//! * [`LlcPolicy::AdaptiveRetention`] — HALLS-style runtime retention
+//!   scaling: per epoch, if the LR part refreshes more than it absorbs
+//!   demand writes, the retention ladder steps up (fewer refreshes);
+//!   if demand writes dominate refreshes 4:1 it steps back down (cheaper
+//!   writes). Levels multiply the base LR retention by
+//!   [`RETENTION_LADDER`].
+//! * [`LlcPolicy::AdaptiveWays`] — Mittal-style way reconfiguration: the
+//!   HR part's active associativity shrinks when per-epoch HR write
+//!   traffic (the growth of the HR write-count matrix) falls below 1/8th
+//!   of the active line count, and grows back one way at a time under
+//!   write pressure. Reassigned ways are drained safely (dirty victims
+//!   write back) before leaving service.
+//!
+//! The same engine is embedded by both [`TwoPartLlc`](crate::TwoPartLlc)
+//! and the differential oracle, so adaptive decisions provably coincide:
+//! the oracle harness compares the full statistics block after every
+//! operation, and the engine's decisions are a pure function of those
+//! statistics plus time.
+
+use std::fmt;
+
+use sttgpu_cache::ReplacementPolicy;
+use sttgpu_device::mtj::RetentionTime;
+
+use crate::config::TwoPartConfig;
+use crate::retention::RetentionTracker;
+use crate::two_part::TwoPartStats;
+
+/// Length of one policy-evaluation epoch, ns. Short enough that fuzz
+/// traces (tens of microseconds) cross several epochs, long enough to
+/// accumulate a meaningful stats delta.
+pub const POLICY_EPOCH_NS: u64 = 10_000;
+
+/// Retention multipliers the adaptive-retention ladder steps through,
+/// level 0 first. Level 0 is the configured (paper) retention target.
+pub const RETENTION_LADDER: [u64; 3] = [1, 2, 4];
+
+/// Which shipped policy bundle a [`TwoPartConfig`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LlcPolicy {
+    /// The paper-exact fixed policy (default): threshold migration,
+    /// static retention, static partition.
+    #[default]
+    Fixed,
+    /// HALLS-style runtime retention-level adaptation of the LR part.
+    AdaptiveRetention,
+    /// Write-pressure-driven HR way reconfiguration.
+    AdaptiveWays,
+}
+
+impl LlcPolicy {
+    /// Every shipped policy, `Fixed` first.
+    pub const ALL: [LlcPolicy; 3] = [
+        LlcPolicy::Fixed,
+        LlcPolicy::AdaptiveRetention,
+        LlcPolicy::AdaptiveWays,
+    ];
+
+    /// The policy's registry name (the `--llc-policy` CLI value).
+    pub fn name(self) -> &'static str {
+        match self {
+            LlcPolicy::Fixed => "fixed",
+            LlcPolicy::AdaptiveRetention => "adaptive-retention",
+            LlcPolicy::AdaptiveWays => "adaptive-ways",
+        }
+    }
+
+    /// Looks a policy up by its registry name.
+    pub fn parse(name: &str) -> Option<LlcPolicy> {
+        LlcPolicy::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl fmt::Display for LlcPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Decides when HR-resident blocks join the write working set and where
+/// fills land — the seam replacing the hard-coded threshold comparisons.
+pub trait MigrationPolicy: fmt::Debug + Send {
+    /// Whether a block whose (post-write) HR write count is `write_count`
+    /// migrates to LR now.
+    fn should_migrate(&self, write_count: u32) -> bool;
+
+    /// Whether the *next* demand write to a block currently at
+    /// `count_before_write` will trigger migration (the fault model's ECC
+    /// prediction hook — must match `should_migrate` after one more
+    /// write).
+    fn migration_due(&self, count_before_write: u32) -> bool;
+
+    /// Whether a DRAM fill with the given dirtiness goes straight to LR.
+    fn fill_to_lr(&self, dirty: bool) -> bool;
+
+    /// Clones the policy behind its trait object.
+    fn clone_box(&self) -> Box<dyn MigrationPolicy>;
+}
+
+/// The paper's rule: migrate at a fixed saturating write-count threshold;
+/// dirty fills go to LR iff one write already meets the threshold.
+#[derive(Debug, Clone)]
+pub struct ThresholdMigration {
+    threshold: u32,
+}
+
+impl ThresholdMigration {
+    /// Creates the rule for the configured threshold.
+    pub fn new(threshold: u32) -> Self {
+        ThresholdMigration { threshold }
+    }
+}
+
+impl MigrationPolicy for ThresholdMigration {
+    fn should_migrate(&self, write_count: u32) -> bool {
+        write_count >= self.threshold
+    }
+
+    fn migration_due(&self, count_before_write: u32) -> bool {
+        count_before_write.saturating_add(1) >= self.threshold
+    }
+
+    fn fill_to_lr(&self, dirty: bool) -> bool {
+        dirty && 1 >= self.threshold
+    }
+
+    fn clone_box(&self) -> Box<dyn MigrationPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Chooses the LR retention ladder level once per epoch from the stats
+/// delta accumulated over that epoch.
+pub trait RetentionPolicy: fmt::Debug + Send {
+    /// Returns `Some(new_level)` to switch ladder levels, `None` to stay.
+    fn epoch(&mut self, delta: &TwoPartStats, level: u32) -> Option<u32>;
+
+    /// Clones the policy behind its trait object.
+    fn clone_box(&self) -> Box<dyn RetentionPolicy>;
+}
+
+/// Static retention — never switches (the paper's design).
+#[derive(Debug, Clone)]
+pub struct StaticRetention;
+
+impl RetentionPolicy for StaticRetention {
+    fn epoch(&mut self, _delta: &TwoPartStats, _level: u32) -> Option<u32> {
+        None
+    }
+
+    fn clone_box(&self) -> Box<dyn RetentionPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// HALLS-style adaptation: refresh-dominated epochs climb the ladder
+/// (longer retention, fewer refreshes); write-dominated epochs (demand
+/// writes outnumbering refreshes 4:1) descend it (cheaper LR writes).
+#[derive(Debug, Clone)]
+pub struct HallsRetention;
+
+impl RetentionPolicy for HallsRetention {
+    fn epoch(&mut self, delta: &TwoPartStats, level: u32) -> Option<u32> {
+        let top = (RETENTION_LADDER.len() - 1) as u32;
+        if delta.refreshes > delta.demand_writes_lr && level < top {
+            Some(level + 1)
+        } else if delta.refreshes * 4 < delta.demand_writes_lr && level > 0 {
+            Some(level - 1)
+        } else {
+            None
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn RetentionPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Chooses the HR part's active associativity once per epoch.
+pub trait PartitionPolicy: fmt::Debug + Send {
+    /// Returns `Some(new_ways)` (within `[min_ways, max_ways]`) to
+    /// reconfigure, `None` to stay. `hr_sets` sizes one way in lines.
+    fn epoch(
+        &mut self,
+        delta: &TwoPartStats,
+        active_ways: u32,
+        min_ways: u32,
+        max_ways: u32,
+        hr_sets: u64,
+    ) -> Option<u32>;
+
+    /// Clones the policy behind its trait object.
+    fn clone_box(&self) -> Box<dyn PartitionPolicy>;
+}
+
+/// Static partition — never reconfigures (the paper's design).
+#[derive(Debug, Clone)]
+pub struct StaticPartition;
+
+impl PartitionPolicy for StaticPartition {
+    fn epoch(
+        &mut self,
+        _delta: &TwoPartStats,
+        _active_ways: u32,
+        _min_ways: u32,
+        _max_ways: u32,
+        _hr_sets: u64,
+    ) -> Option<u32> {
+        None
+    }
+
+    fn clone_box(&self) -> Box<dyn PartitionPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Way reconfiguration driven by HR write pressure. The per-epoch signal
+/// `hr_write_hits + demotions_to_hr + fills_to_hr` equals the growth of
+/// the HR write-count matrix (every term bumps exactly one HR
+/// `position_writes` cell and nothing else does), re-expressed over the
+/// statistics block so the differential oracle can mirror it exactly.
+#[derive(Debug, Clone)]
+pub struct WritePressurePartition;
+
+impl PartitionPolicy for WritePressurePartition {
+    fn epoch(
+        &mut self,
+        delta: &TwoPartStats,
+        active_ways: u32,
+        min_ways: u32,
+        max_ways: u32,
+        hr_sets: u64,
+    ) -> Option<u32> {
+        let traffic = delta.hr_write_hits + delta.demotions_to_hr + delta.fills_to_hr;
+        let active_lines = hr_sets * active_ways as u64;
+        if traffic > active_lines && active_ways < max_ways {
+            Some(active_ways + 1)
+        } else if traffic * 8 < active_lines && active_ways > min_ways {
+            Some(active_ways - 1)
+        } else {
+            None
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn PartitionPolicy> {
+        Box::new(self.clone())
+    }
+}
+
+/// Reconfigurations one epoch evaluation requested. At most one field is
+/// populated per shipped policy (each adapts a single dimension).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochActions {
+    /// New LR retention ladder level to apply, if any.
+    pub retention_level: Option<u32>,
+    /// New HR active associativity to apply, if any.
+    pub hr_ways: Option<u32>,
+}
+
+impl EpochActions {
+    /// No reconfiguration.
+    pub const NONE: EpochActions = EpochActions {
+        retention_level: None,
+        hr_ways: None,
+    };
+}
+
+/// The runtime policy registry both the cache implementation and the
+/// differential oracle embed.
+///
+/// All decision state (epoch clock, stats baseline, ladder level) lives
+/// here, in one shared type — the two machines cannot drift apart by
+/// hand-mirroring a state machine, because there is only one.
+#[derive(Debug)]
+pub struct PolicyEngine {
+    policy: LlcPolicy,
+    migration: Box<dyn MigrationPolicy>,
+    retention: Box<dyn RetentionPolicy>,
+    partition: Box<dyn PartitionPolicy>,
+    replacement: ReplacementPolicy,
+    retention_level: u32,
+    next_epoch_ns: u64,
+    baseline: TwoPartStats,
+    switches: u64,
+}
+
+impl Clone for PolicyEngine {
+    fn clone(&self) -> Self {
+        PolicyEngine {
+            policy: self.policy,
+            migration: self.migration.clone_box(),
+            retention: self.retention.clone_box(),
+            partition: self.partition.clone_box(),
+            replacement: self.replacement,
+            retention_level: self.retention_level,
+            next_epoch_ns: self.next_epoch_ns,
+            baseline: self.baseline,
+            switches: self.switches,
+        }
+    }
+}
+
+impl PolicyEngine {
+    /// Instantiates the registry the configuration names.
+    pub fn new(cfg: &TwoPartConfig) -> Self {
+        let migration: Box<dyn MigrationPolicy> =
+            Box::new(ThresholdMigration::new(cfg.write_threshold));
+        let (retention, partition): (Box<dyn RetentionPolicy>, Box<dyn PartitionPolicy>) = match cfg
+            .policy
+        {
+            LlcPolicy::Fixed => (Box::new(StaticRetention), Box::new(StaticPartition)),
+            LlcPolicy::AdaptiveRetention => (Box::new(HallsRetention), Box::new(StaticPartition)),
+            LlcPolicy::AdaptiveWays => {
+                (Box::new(StaticRetention), Box::new(WritePressurePartition))
+            }
+        };
+        PolicyEngine {
+            policy: cfg.policy,
+            migration,
+            retention,
+            partition,
+            replacement: cfg.replacement,
+            retention_level: 0,
+            next_epoch_ns: POLICY_EPOCH_NS,
+            baseline: TwoPartStats::default(),
+            switches: 0,
+        }
+    }
+
+    /// The selected policy bundle.
+    pub fn policy(&self) -> LlcPolicy {
+        self.policy
+    }
+
+    /// Whether this is the paper-exact fixed bundle (the epoch hook
+    /// early-returns, leaving the hot loop untouched).
+    pub fn is_fixed(&self) -> bool {
+        self.policy == LlcPolicy::Fixed
+    }
+
+    /// The replacement policy the registry unifies.
+    pub fn replacement(&self) -> ReplacementPolicy {
+        self.replacement
+    }
+
+    /// Current LR retention ladder level.
+    pub fn retention_level(&self) -> u32 {
+        self.retention_level
+    }
+
+    /// Number of reconfigurations applied so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Migration decision for a block at (post-write) `write_count`.
+    pub fn should_migrate(&self, write_count: u32) -> bool {
+        self.migration.should_migrate(write_count)
+    }
+
+    /// Whether the next demand write at `count_before_write` migrates.
+    pub fn migration_due(&self, count_before_write: u32) -> bool {
+        self.migration.migration_due(count_before_write)
+    }
+
+    /// Whether a fill of the given dirtiness lands in LR.
+    pub fn fill_to_lr(&self, dirty: bool) -> bool {
+        self.migration.fill_to_lr(dirty)
+    }
+
+    /// Evaluates at most one policy epoch. Call from `maintain` before
+    /// the refresh/expiry engines, passing the machine's current
+    /// statistics and HR geometry; apply any returned actions
+    /// immediately. A fixed engine returns [`EpochActions::NONE`] without
+    /// touching any state.
+    pub fn poll(
+        &mut self,
+        now_ns: u64,
+        stats: &TwoPartStats,
+        active_ways: u32,
+        max_ways: u32,
+        hr_sets: u64,
+    ) -> EpochActions {
+        if self.is_fixed() || now_ns < self.next_epoch_ns {
+            return EpochActions::NONE;
+        }
+        // One evaluation per crossing, re-armed on the epoch grid, so
+        // sparse maintenance (long idle gaps) costs one evaluation, not
+        // one per elapsed epoch.
+        self.next_epoch_ns = (now_ns / POLICY_EPOCH_NS + 1) * POLICY_EPOCH_NS;
+        let delta = stats_delta(stats, &self.baseline);
+        self.baseline = *stats;
+        let retention_level = self.retention.epoch(&delta, self.retention_level);
+        if let Some(level) = retention_level {
+            self.retention_level = level;
+            self.switches += 1;
+        }
+        let min_ways = (max_ways / 2).max(1);
+        let hr_ways = self
+            .partition
+            .epoch(&delta, active_ways, min_ways, max_ways, hr_sets);
+        if hr_ways.is_some() {
+            self.switches += 1;
+        }
+        EpochActions {
+            retention_level,
+            hr_ways,
+        }
+    }
+
+    /// Re-zeroes the stats-delta baseline; call wherever the embedding
+    /// machine resets its statistics, or the first post-reset epoch would
+    /// see a wildly negative (saturated-to-zero) delta window.
+    pub fn reset_baseline(&mut self) {
+        self.baseline = TwoPartStats::default();
+    }
+}
+
+/// Field-wise saturating difference of two statistics snapshots.
+fn stats_delta(now: &TwoPartStats, then: &TwoPartStats) -> TwoPartStats {
+    TwoPartStats {
+        lr_read_hits: now.lr_read_hits.saturating_sub(then.lr_read_hits),
+        hr_read_hits: now.hr_read_hits.saturating_sub(then.hr_read_hits),
+        lr_write_hits: now.lr_write_hits.saturating_sub(then.lr_write_hits),
+        hr_write_hits: now.hr_write_hits.saturating_sub(then.hr_write_hits),
+        read_misses: now.read_misses.saturating_sub(then.read_misses),
+        write_misses: now.write_misses.saturating_sub(then.write_misses),
+        demand_writes_lr: now.demand_writes_lr.saturating_sub(then.demand_writes_lr),
+        demand_writes_hr: now.demand_writes_hr.saturating_sub(then.demand_writes_hr),
+        lr_array_writes: now.lr_array_writes.saturating_sub(then.lr_array_writes),
+        hr_array_writes: now.hr_array_writes.saturating_sub(then.hr_array_writes),
+        migrations_to_lr: now.migrations_to_lr.saturating_sub(then.migrations_to_lr),
+        demotions_to_hr: now.demotions_to_hr.saturating_sub(then.demotions_to_hr),
+        refreshes: now.refreshes.saturating_sub(then.refreshes),
+        lr_expirations: now.lr_expirations.saturating_sub(then.lr_expirations),
+        hr_expirations: now.hr_expirations.saturating_sub(then.hr_expirations),
+        writebacks: now.writebacks.saturating_sub(then.writebacks),
+        overflow_writebacks: now
+            .overflow_writebacks
+            .saturating_sub(then.overflow_writebacks),
+        second_search_hits: now
+            .second_search_hits
+            .saturating_sub(then.second_search_hits),
+        fills_to_lr: now.fills_to_lr.saturating_sub(then.fills_to_lr),
+        fills_to_hr: now.fills_to_hr.saturating_sub(then.fills_to_hr),
+        lr_rotations: now.lr_rotations.saturating_sub(then.lr_rotations),
+        ecc_corrections: now.ecc_corrections.saturating_sub(then.ecc_corrections),
+        ecc_uncorrectable: now.ecc_uncorrectable.saturating_sub(then.ecc_uncorrectable),
+        data_loss_events: now.data_loss_events.saturating_sub(then.data_loss_events),
+        refresh_drops: now.refresh_drops.saturating_sub(then.refresh_drops),
+        buffer_stalls: now.buffer_stalls.saturating_sub(then.buffer_stalls),
+        bank_faults: now.bank_faults.saturating_sub(then.bank_faults),
+    }
+}
+
+/// The LR retention tracker at ladder level `level` (level 0 = the
+/// configured base retention).
+pub fn lr_tracker_at(base: RetentionTime, bits: u32, level: u32) -> RetentionTracker {
+    let mult = RETENTION_LADDER[level as usize];
+    let scaled = RetentionTime::from_nanos((base.as_nanos_u64() * mult) as f64);
+    RetentionTracker::new(scaled, bits)
+}
+
+/// The LR maintenance-cadence floor under `policy`: the minimum safe
+/// sweep interval over every retention level the policy can select, so a
+/// cadence chosen at setup stays sound across runtime switches.
+pub fn lr_maintenance_floor_ns(policy: LlcPolicy, base: RetentionTime, bits: u32) -> u64 {
+    match policy {
+        LlcPolicy::AdaptiveRetention => (0..RETENTION_LADDER.len() as u32)
+            .map(|level| lr_tracker_at(base, bits, level).maintenance_interval_ns())
+            .min()
+            .expect("ladder is non-empty"),
+        LlcPolicy::Fixed | LlcPolicy::AdaptiveWays => {
+            RetentionTracker::new(base, bits).maintenance_interval_ns()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(policy: LlcPolicy) -> TwoPartConfig {
+        let mut c = TwoPartConfig::new(8, 2, 56, 7, 256);
+        c.policy = policy;
+        c
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for p in LlcPolicy::ALL {
+            assert_eq!(LlcPolicy::parse(p.name()), Some(p));
+            assert_eq!(p.to_string(), p.name());
+        }
+        assert_eq!(LlcPolicy::parse("nope"), None);
+        assert_eq!(LlcPolicy::default(), LlcPolicy::Fixed);
+    }
+
+    #[test]
+    fn threshold_migration_matches_the_paper_rules() {
+        let m = ThresholdMigration::new(3);
+        assert!(!m.should_migrate(2));
+        assert!(m.should_migrate(3));
+        assert!(!m.migration_due(1), "write 2 of 3 is not due");
+        assert!(m.migration_due(2), "write 3 of 3 is due");
+        assert!(!m.fill_to_lr(true), "dirty fill stays in HR above TH=1");
+        let th1 = ThresholdMigration::new(1);
+        assert!(th1.fill_to_lr(true));
+        assert!(!th1.fill_to_lr(false));
+    }
+
+    #[test]
+    fn fixed_engine_never_evaluates() {
+        let mut e = PolicyEngine::new(&cfg(LlcPolicy::Fixed));
+        assert!(e.is_fixed());
+        let stats = TwoPartStats {
+            refreshes: 1_000_000,
+            ..TwoPartStats::default()
+        };
+        for t in [0, POLICY_EPOCH_NS, 100 * POLICY_EPOCH_NS] {
+            assert_eq!(e.poll(t, &stats, 7, 7, 32), EpochActions::NONE);
+        }
+        assert_eq!(e.switches(), 0);
+    }
+
+    #[test]
+    fn halls_ladder_steps_on_refresh_pressure() {
+        let mut e = PolicyEngine::new(&cfg(LlcPolicy::AdaptiveRetention));
+        // Epoch 1: refresh-dominated -> step up.
+        let mut stats = TwoPartStats {
+            refreshes: 50,
+            demand_writes_lr: 10,
+            ..TwoPartStats::default()
+        };
+        let a = e.poll(POLICY_EPOCH_NS, &stats, 7, 7, 32);
+        assert_eq!(a.retention_level, Some(1));
+        // Epoch 2: balanced delta -> hold.
+        stats.refreshes += 20;
+        stats.demand_writes_lr += 30;
+        let a = e.poll(2 * POLICY_EPOCH_NS, &stats, 7, 7, 32);
+        assert_eq!(a, EpochActions::NONE);
+        // Epoch 3: write-dominated -> step down.
+        stats.demand_writes_lr += 400;
+        let a = e.poll(3 * POLICY_EPOCH_NS, &stats, 7, 7, 32);
+        assert_eq!(a.retention_level, Some(0));
+        assert_eq!(e.switches(), 2);
+    }
+
+    #[test]
+    fn halls_ladder_clamps_at_both_ends() {
+        let mut halls = HallsRetention;
+        let refresh_heavy = TwoPartStats {
+            refreshes: 100,
+            ..TwoPartStats::default()
+        };
+        let top = (RETENTION_LADDER.len() - 1) as u32;
+        assert_eq!(halls.epoch(&refresh_heavy, top), None, "clamped at top");
+        let write_heavy = TwoPartStats {
+            demand_writes_lr: 100,
+            ..TwoPartStats::default()
+        };
+        assert_eq!(halls.epoch(&write_heavy, 0), None, "clamped at bottom");
+    }
+
+    #[test]
+    fn write_pressure_partition_grows_and_shrinks_within_bounds() {
+        let mut p = WritePressurePartition;
+        let hr_sets = 32u64;
+        let busy = TwoPartStats {
+            hr_write_hits: 200,
+            fills_to_hr: 50,
+            ..TwoPartStats::default()
+        }; // traffic 250 > 7*32 = 224
+        assert_eq!(p.epoch(&busy, 7, 3, 7, hr_sets), None, "already at max");
+        assert_eq!(p.epoch(&busy, 5, 3, 7, hr_sets), Some(6));
+        let idle = TwoPartStats::default(); // traffic 0
+        assert_eq!(p.epoch(&idle, 7, 3, 7, hr_sets), Some(6));
+        assert_eq!(p.epoch(&idle, 3, 3, 7, hr_sets), None, "clamped at min");
+    }
+
+    #[test]
+    fn poll_is_once_per_epoch_crossing() {
+        let mut e = PolicyEngine::new(&cfg(LlcPolicy::AdaptiveWays));
+        let stats = TwoPartStats::default();
+        // Idle traffic shrinks one way per epoch, not per call.
+        let a = e.poll(POLICY_EPOCH_NS, &stats, 7, 7, 32);
+        assert_eq!(a.hr_ways, Some(6));
+        let a = e.poll(POLICY_EPOCH_NS + 1, &stats, 6, 7, 32);
+        assert_eq!(a, EpochActions::NONE, "same epoch: no re-evaluation");
+        // A long gap still evaluates exactly once.
+        let a = e.poll(50 * POLICY_EPOCH_NS, &stats, 6, 7, 32);
+        assert_eq!(a.hr_ways, Some(5));
+    }
+
+    #[test]
+    fn engine_clone_preserves_decision_state() {
+        let mut e = PolicyEngine::new(&cfg(LlcPolicy::AdaptiveRetention));
+        let stats = TwoPartStats {
+            refreshes: 50,
+            ..TwoPartStats::default()
+        };
+        e.poll(POLICY_EPOCH_NS, &stats, 7, 7, 32);
+        let c = e.clone();
+        assert_eq!(c.retention_level(), e.retention_level());
+        assert_eq!(c.switches(), e.switches());
+        assert_eq!(c.policy(), e.policy());
+    }
+
+    #[test]
+    fn ladder_trackers_scale_retention() {
+        let base = RetentionTime::from_micros(26.5);
+        assert_eq!(lr_tracker_at(base, 4, 0).retention_ns(), 26_500);
+        assert_eq!(lr_tracker_at(base, 4, 1).retention_ns(), 53_000);
+        assert_eq!(lr_tracker_at(base, 4, 2).retention_ns(), 106_000);
+    }
+
+    #[test]
+    fn maintenance_floor_covers_every_ladder_level() {
+        let base = RetentionTime::from_micros(26.5);
+        let floor = lr_maintenance_floor_ns(LlcPolicy::AdaptiveRetention, base, 4);
+        for level in 0..RETENTION_LADDER.len() as u32 {
+            assert!(floor <= lr_tracker_at(base, 4, level).maintenance_interval_ns());
+        }
+        assert_eq!(
+            lr_maintenance_floor_ns(LlcPolicy::Fixed, base, 4),
+            RetentionTracker::new(base, 4).maintenance_interval_ns()
+        );
+    }
+}

@@ -13,6 +13,7 @@ use sttgpu_trace::{BufferDir, PartId, Trace, TraceEvent};
 
 use crate::config::{SearchMode, TwoPartConfig};
 use crate::llc::{latency_to_ns, FillOutcome, LlcModel, LlcStats, ProbeOutcome};
+use crate::policy::{lr_maintenance_floor_ns, lr_tracker_at, PolicyEngine};
 use crate::retention::RetentionTracker;
 use crate::search::{Part, SearchSelector};
 use crate::swap::SwapBuffer;
@@ -207,6 +208,7 @@ pub struct TwoPartLlc {
     lr_rc: RetentionTracker,
     hr_rc: RetentionTracker,
     wws: WwsMonitor,
+    engine: PolicyEngine,
     fault: FaultPlan,
     hr_to_lr: SwapBuffer,
     lr_to_hr: SwapBuffer,
@@ -259,17 +261,20 @@ impl TwoPartLlc {
             .with_ewt_savings(cfg.ewt_savings);
         let lr_design = ArrayDesign::new(lr_geom, MemTechnology::SttRam(lr_mtj));
         let hr_design = ArrayDesign::new(hr_geom, MemTechnology::SttRam(hr_mtj));
+        // The replacement hook lives in the policy registry alongside the
+        // migration/retention/partition seams.
+        let engine = PolicyEngine::new(&cfg);
         let lr = SetAssocCache::new(
             lr_geom.sets() as usize,
             cfg.lr_ways as usize,
             cfg.line_bytes,
-            cfg.replacement,
+            engine.replacement(),
         );
         let hr = SetAssocCache::new(
             hr_geom.sets() as usize,
             cfg.hr_ways as usize,
             cfg.line_bytes,
-            cfg.replacement,
+            engine.replacement(),
         );
         let energy =
             EnergyAccount::with_leakage_mw(lr_design.leakage_mw() + hr_design.leakage_mw());
@@ -281,6 +286,7 @@ impl TwoPartLlc {
             lr_rc: RetentionTracker::new(cfg.lr_retention, cfg.lr_rc_bits),
             hr_rc: RetentionTracker::new(cfg.hr_retention, cfg.hr_rc_bits),
             wws: WwsMonitor::new(cfg.write_threshold),
+            engine,
             fault: FaultPlan::new(
                 cfg.fault,
                 cfg.lr_retention,
@@ -491,15 +497,14 @@ impl TwoPartLlc {
     /// Whether the next demand write to the HR-resident line `la` will
     /// trigger a WWS migration — i.e. the count [`hr_write_hit`] will
     /// observe after its lookup bumps the write counter reaches the
-    /// threshold. Compares against the raw threshold so the prediction
+    /// threshold. Asks the policy's prediction hook directly so the check
     /// does not perturb the monitor's decision statistics.
     ///
     /// [`hr_write_hit`]: Self::hr_write_hit
     fn migration_is_due(&self, la: u64) -> bool {
         self.hr
             .peek(la)
-            .map(|l| l.write_count().saturating_add(1))
-            .is_some_and(|next| next >= self.wws.threshold())
+            .is_some_and(|l| self.engine.migration_due(l.write_count()))
     }
 
     /// Handles a write that hit in HR: either service it in place or
@@ -515,7 +520,9 @@ impl TwoPartLlc {
         self.stats.hr_write_hits += 1;
         let count = self.hr.peek(la).map_or(1, |l| l.write_count());
 
-        if self.wws.should_migrate(count) {
+        let migrate = self.engine.should_migrate(count);
+        self.wws.record(migrate);
+        if migrate {
             // Promote: read the block out of HR, stage it in the HR→LR
             // buffer, write it (merged with the demand data) into LR. The
             // whole hop runs on migration ports (the paper banks the HR
@@ -662,8 +669,6 @@ impl TwoPartLlc {
         self.deposit(EnergyEvent::Migration, self.hr_design.write_energy_nj());
         self.stats.demotions_to_hr += 1;
         self.stats.hr_array_writes += 1;
-        // Write counts restart for the new HR residency: the WWS monitor
-        // judges HR-resident behaviour only.
         let mut writebacks = 0;
         if let Some(hr_victim) = self.hr.fill_with(
             victim.line_addr,
@@ -685,6 +690,13 @@ impl TwoPartLlc {
                 self.stats.writebacks += 1;
                 self.deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
             }
+        }
+        // Write counts restart for the new HR residency: the WWS monitor
+        // judges HR-resident behaviour only. `fill_with` counts the
+        // filling write via the dirty flag, which would leave dirty
+        // demotions one demand write ahead at thresholds 2..3.
+        if let Some(line) = self.hr.peek_mut(victim.line_addr) {
+            line.set_write_count(0);
         }
         self.trace.emit(|| TraceEvent::Fill {
             part: PartId::Hr,
@@ -740,6 +752,11 @@ impl TwoPartLlc {
                     self.deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
                 }
             }
+            // As in `demote`: a rotation demotion starts a fresh HR
+            // residency, so the WWS count restarts at zero.
+            if let Some(line) = self.hr.peek_mut(victim.line_addr) {
+                line.set_write_count(0);
+            }
             self.trace.emit(|| TraceEvent::Fill {
                 part: PartId::Hr,
                 la: victim.line_addr,
@@ -752,6 +769,100 @@ impl TwoPartLlc {
         // hot region onto *disjoint* physical sets, which a +1 shift would
         // not achieve.
         self.lr.set_salt(self.stats.lr_rotations.wrapping_mul(2593));
+    }
+
+    /// Evaluates the runtime policy epoch and applies any reconfiguration
+    /// it requests. A no-op under the fixed policy.
+    fn policy_epoch(&mut self, now_ns: u64) {
+        if self.engine.is_fixed() {
+            return;
+        }
+        let actions = self.engine.poll(
+            now_ns,
+            &self.stats,
+            self.hr.active_ways() as u32,
+            self.cfg.hr_ways,
+            self.cfg.hr_sets(),
+        );
+        if let Some(level) = actions.retention_level {
+            self.apply_retention_level(level, now_ns);
+        }
+        if let Some(ways) = actions.hr_ways {
+            self.apply_hr_ways(ways, now_ns);
+        }
+    }
+
+    /// Switches the LR part to retention ladder `level`: swap the
+    /// tracker, then rewrite-sweep every resident LR line so its
+    /// retention clock restarts under the new tracker.
+    fn apply_retention_level(&mut self, level: u32, now_ns: u64) {
+        self.lr_rc = lr_tracker_at(self.cfg.lr_retention, self.cfg.lr_rc_bits, level);
+        // The sweep stamps lines at `now + 1` — a time no past write can
+        // share — so every pre-switch heap entry goes stale on its stamp
+        // check and deadlines never mix trackers. Each rewrite is a
+        // physical array write priced like a refresh, but it is *not* a
+        // protocol refresh: no `refreshes` count and no `Refresh` events
+        // (mid-life rewrites would trip the checker's refresh-tail rule).
+        let stamp = now_ns + 1;
+        let mut resident = Vec::new();
+        for line in self.lr.iter_mut() {
+            if line.is_valid() {
+                line.meta.written_at_ns = stamp;
+                resident.push(line.line_addr());
+            }
+        }
+        for la in resident {
+            self.stats.lr_array_writes += 1;
+            self.deposit(
+                EnergyEvent::Refresh,
+                self.lr_design.read_energy_nj() + self.lr_design.write_energy_nj(),
+            );
+            self.note_lr_write(la, stamp);
+        }
+        let lr_rc = self.lr_rc;
+        let slack = self.cfg.refresh_slack_ticks as u64;
+        self.trace.emit(|| TraceEvent::PolicySwitch {
+            part: PartId::Lr,
+            lr_max_hit_age_ns: lr_rc.retention_ns(),
+            lr_tail_start_ns: lr_rc.refresh_deadline_with_slack_ns(0, slack),
+            lr_min_expire_age_ns: lr_rc.retention_ns(),
+            active_ways: 0,
+            now_ns,
+        });
+    }
+
+    /// Reconfigures the HR part to `ways` active ways, draining the
+    /// parked range first on a shrink (dirty victims write back to DRAM,
+    /// clean ones drop — the paper's data-loss avoidance rule).
+    fn apply_hr_ways(&mut self, ways: u32, now_ns: u64) {
+        let target = ways as usize;
+        if target < self.hr.active_ways() {
+            let mut drained = std::mem::take(&mut self.rotation_scratch);
+            drained.clear();
+            self.hr.drain_ways_into(target, &mut drained);
+            for victim in drained.drain(..) {
+                self.trace.emit(|| TraceEvent::Evict {
+                    part: PartId::Hr,
+                    la: victim.line_addr,
+                    wrote_back: victim.dirty,
+                    now_ns,
+                });
+                if victim.dirty {
+                    self.stats.writebacks += 1;
+                    self.deposit(EnergyEvent::Writeback, self.hr_design.read_energy_nj());
+                }
+            }
+            self.rotation_scratch = drained;
+        }
+        self.hr.set_active_ways(target);
+        self.trace.emit(|| TraceEvent::PolicySwitch {
+            part: PartId::Hr,
+            lr_max_hit_age_ns: 0,
+            lr_tail_start_ns: 0,
+            lr_min_expire_age_ns: 0,
+            active_ways: ways,
+            now_ns,
+        });
     }
 }
 
@@ -941,7 +1052,7 @@ impl LlcModel for TwoPartLlc {
         let la = byte_addr / self.cfg.line_bytes as u64;
         // A dirty fill is a block entering on a write: at threshold 1 it
         // is WWS by definition and goes to LR; clean (read) fills go to HR.
-        let to_lr = dirty && 1 >= self.cfg.write_threshold;
+        let to_lr = self.engine.fill_to_lr(dirty);
         let mut writebacks = 0;
         let ready_ns;
         if to_lr {
@@ -1016,6 +1127,7 @@ impl LlcModel for TwoPartLlc {
     }
 
     fn maintain(&mut self, now_ns: u64) {
+        self.policy_epoch(now_ns);
         if let Some(period) = self.cfg.lr_rotation_period_ns {
             while self.next_rotation_ns <= now_ns {
                 let t = self.next_rotation_ns;
@@ -1196,11 +1308,13 @@ impl LlcModel for TwoPartLlc {
         // Each tracker bounds its own sweep cadence: one tick, or the
         // (possibly narrower, with a rounded-up tick) window between the
         // last-tick deadline and expiry — visiting any slower could let a
-        // due line expire before the refresh engine sees it.
-        let base = self
-            .lr_rc
-            .maintenance_interval_ns()
-            .min(self.hr_rc.maintenance_interval_ns());
+        // due line expire before the refresh engine sees it. The LR bound
+        // is the floor over every retention level the configured policy
+        // can select at runtime, so a cadence chosen at setup stays sound
+        // across switches.
+        let base =
+            lr_maintenance_floor_ns(self.cfg.policy, self.cfg.lr_retention, self.cfg.lr_rc_bits)
+                .min(self.hr_rc.maintenance_interval_ns());
         match self.cfg.lr_rotation_period_ns {
             Some(p) => base.min(p),
             None => base,
@@ -1235,6 +1349,7 @@ impl LlcModel for TwoPartLlc {
         self.lr_rewrite_intervals.reset();
         self.hr_rewrite_intervals.reset();
         self.wws.reset_stats();
+        self.engine.reset_baseline();
         self.hr_to_lr.reset();
         self.lr_to_hr.reset();
         self.trace.emit(|| TraceEvent::ResetMeasurement);

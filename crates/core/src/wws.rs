@@ -65,12 +65,19 @@ impl WwsMonitor {
     /// Observes a block's (post-write) write count and decides whether it
     /// should migrate to LR now.
     pub fn should_migrate(&mut self, write_count: u32) -> bool {
-        self.observations.inc();
         let migrate = write_count >= self.threshold;
-        if migrate {
+        self.record(migrate);
+        migrate
+    }
+
+    /// Records an externally-taken migration decision — used when a
+    /// pluggable [`MigrationPolicy`](crate::MigrationPolicy) owns the
+    /// decision and the monitor only keeps the observation statistics.
+    pub fn record(&mut self, migrated: bool) {
+        self.observations.inc();
+        if migrated {
             self.migrations.inc();
         }
-        migrate
     }
 
     /// Number of migrate decisions taken.

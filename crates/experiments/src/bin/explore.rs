@@ -13,9 +13,10 @@
 use std::env;
 use std::process::ExitCode;
 
-use sttgpu_core::TwoPartConfig;
+use sttgpu_core::{LlcPolicy, TwoPartConfig};
 use sttgpu_device::endurance::LifetimeEstimate;
 use sttgpu_device::mtj::RetentionTime;
+use sttgpu_experiments::cli;
 use sttgpu_experiments::configs::{gpu_config, L2Choice};
 use sttgpu_experiments::report;
 use sttgpu_experiments::runner::{Executor, RunPlan};
@@ -32,6 +33,7 @@ struct Options {
     jobs: Option<usize>,
     sim_threads: u32,
     check: bool,
+    policy: LlcPolicy,
 }
 
 impl Default for Options {
@@ -46,6 +48,7 @@ impl Default for Options {
             jobs: None,
             sim_threads: 1,
             check: false,
+            policy: LlcPolicy::Fixed,
         }
     }
 }
@@ -105,6 +108,10 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.sim_threads = n;
             }
+            "--llc-policy" => {
+                opts.policy = cli::parse_llc_policy(Some(&value("--llc-policy")?))
+                    .map_err(|e| e.to_string())?
+            }
             "--check" => opts.check = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument {other}")),
@@ -122,7 +129,7 @@ fn main() -> ExitCode {
             }
             eprintln!(
                 "usage: explore [--workload NAME] [--scale F] [--jobs N] [--sim-threads T] \
-                 [--check] [--lr-kb A,B,..]\n\
+                 [--check] [--llc-policy NAME] [--lr-kb A,B,..]\n\
                  \t[--lr-retention-us A,B,..] [--hr-retention-ms X] [--hr-kb N]"
             );
             return ExitCode::FAILURE;
@@ -141,6 +148,7 @@ fn main() -> ExitCode {
         scale: opts.scale,
         max_cycles: 20_000_000,
         check: opts.check,
+        policy: opts.policy,
         sim_threads: opts.sim_threads,
         ..RunPlan::full()
     };

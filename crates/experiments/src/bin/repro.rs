@@ -10,6 +10,7 @@
 //! repro all --check       # attach the runtime invariant checker
 //! repro --sim-threads 4 all               # parallel SM stepping (byte-identical)
 //! repro --faults 2e-4 --fault-seed 7 all  # deterministic fault injection
+//! repro --llc-policy adaptive-ways all    # runtime-adaptive LLC policy on two-part runs
 //! repro --out results --resume all        # continue an interrupted sweep
 //! repro --fuzz 10000 --fuzz-seed 7        # differential fuzz vs the oracle
 //! ```
@@ -72,11 +73,11 @@ use std::time::Instant;
 use sttgpu_experiments::error::panic_message;
 use sttgpu_experiments::persist::StoreReport;
 use sttgpu_experiments::{
-    ablations, cli, faults, fig3, fig4, fig5, fig6, fig8, table1, table2, workload_table, Executor,
-    ResultStore, RunError, RunPlan, STORE_GENERATION,
+    ablations, adaptive, cli, faults, fig3, fig4, fig5, fig6, fig8, table1, table2, workload_table,
+    Executor, ResultStore, RunError, RunPlan, STORE_GENERATION,
 };
 
-const ARTEFACTS: [&str; 10] = [
+const ARTEFACTS: [&str; 11] = [
     "table1",
     "table2",
     "workloads",
@@ -87,13 +88,14 @@ const ARTEFACTS: [&str; 10] = [
     "fig8",
     "ablations",
     "faults",
+    "adaptive",
 ];
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--quick] [--scale F] [--jobs N] [--sim-threads T] [--out DIR] \
-         [--check] [--faults RATE] [--fault-seed N] [--resume] [--store DIR] \
-         [--run-timeout SECS] <all|{}> ...\n\
+         [--check] [--faults RATE] [--fault-seed N] [--llc-policy NAME] [--resume] \
+         [--store DIR] [--run-timeout SECS] <all|{}> ...\n\
          \x20      repro --fuzz N [--fuzz-seed S] [--sim-threads T]  # differential fuzz vs the oracle\n\
          \x20      repro --canary [--out DIR]       # perf canary vs checked-in baseline\n\
          \x20      repro --scenario NAME[:seed] [--check]   # scenario family vs oracle + C1 replay ('list' lists)\n\
@@ -471,22 +473,25 @@ fn run_record_mode(workload: &str, out_path: &Path, plan: &RunPlan) -> ExitCode 
 /// with the full plan; v2 pins the plan (and the result-store
 /// generation) once in a header line, so a `--resume` against a journal
 /// written by an incompatible invocation is a typed refusal instead of
-/// a silent full re-run — or worse, a silent skip of stale artefacts.
-const JOURNAL_VERSION: u32 = 2;
+/// a silent full re-run — or worse, a silent skip of stale artefacts;
+/// v3 adds the LLC policy to the pinned plan.
+const JOURNAL_VERSION: u32 = 3;
 
-/// The v2 journal header. Bit patterns for the floats: resume must
+/// The v3 journal header. Bit patterns for the floats: resume must
 /// match exactly, not approximately. `run_timeout_s` is absent by
 /// design — supervision cannot change the bytes of a completed
 /// artefact, so it must not invalidate a resume.
 fn journal_header(plan: &RunPlan) -> String {
     format!(
         "sttgpu-journal v{JOURNAL_VERSION} scale={:016x} max_cycles={} check={} \
-         fault_rate={:016x} fault_seed={} sim_threads={} store_gen={STORE_GENERATION}",
+         fault_rate={:016x} fault_seed={} policy={} sim_threads={} \
+         store_gen={STORE_GENERATION}",
         plan.scale.to_bits(),
         plan.max_cycles,
         u8::from(plan.check),
         plan.fault.rate.to_bits(),
         plan.fault.seed,
+        plan.policy.name(),
         plan.sim_threads,
     )
 }
@@ -625,6 +630,10 @@ fn run_artefact(name: &str, exec: &Executor, plan: &RunPlan) -> Option<(String, 
             let rows = faults::compute(exec, plan);
             (faults::render(&rows), Some(faults::to_csv(&rows)))
         }
+        "adaptive" => {
+            let rep = adaptive::compute(exec, plan);
+            (adaptive::render(&rep), Some(adaptive::to_csv(&rep)))
+        }
         _ => return None,
     };
     Some((text, csv))
@@ -684,6 +693,7 @@ fn main() -> ExitCode {
     let mut check = false;
     let mut fault_rate = 0.0;
     let mut fault_seed = 0;
+    let mut policy = sttgpu_core::LlcPolicy::Fixed;
     let mut resume = false;
     let mut fuzz_cases: Option<u64> = None;
     let mut fuzz_seed = 7u64;
@@ -755,6 +765,13 @@ fn main() -> ExitCode {
                 };
                 fault_seed = n;
             }
+            "--llc-policy" => match cli::parse_llc_policy(args.next().as_deref()) {
+                Ok(p) => policy = p,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return usage();
+                }
+            },
             "--resume" => resume = true,
             "--canary" => canary = true,
             "--fuzz" => {
@@ -871,6 +888,7 @@ fn main() -> ExitCode {
     plan = plan
         .with_check(check)
         .with_faults(fault_rate, fault_seed)
+        .with_policy(policy)
         .with_sim_threads(sim_threads);
     if let Some(secs) = run_timeout {
         plan = plan.with_run_timeout(secs);

@@ -6,6 +6,8 @@
 //! they put *upper* bounds on values where a typo (`--jobs 100000`)
 //! would otherwise exhaust the machine before anything useful ran.
 
+use sttgpu_core::LlcPolicy;
+
 use crate::error::RunError;
 
 /// Upper bound on `--jobs`: far beyond any real core count, low enough
@@ -73,6 +75,18 @@ pub fn parse_run_timeout(value: Option<&str>) -> Result<u64, RunError> {
     Ok(n)
 }
 
+/// Parses `--llc-policy NAME` against the shipped policy registry.
+pub fn parse_llc_policy(value: Option<&str>) -> Result<LlcPolicy, RunError> {
+    let raw = value_of("--llc-policy", value)?;
+    LlcPolicy::parse(raw).ok_or_else(|| {
+        let names: Vec<&str> = LlcPolicy::ALL.iter().map(|p| p.name()).collect();
+        invalid(format!(
+            "--llc-policy wants one of {}, got '{raw}'",
+            names.join("|")
+        ))
+    })
+}
+
 /// Parses and bounds-checks `--scale F`.
 pub fn parse_scale(value: Option<&str>) -> Result<f64, RunError> {
     let raw = value_of("--scale", value)?;
@@ -124,6 +138,15 @@ mod tests {
         rejects(parse_run_timeout(Some("0")), "seconds, got 0");
         rejects(parse_run_timeout(Some("90000")), "1..=86400");
         rejects(parse_run_timeout(Some("soon")), "seconds, got 'soon'");
+    }
+
+    #[test]
+    fn llc_policy_names_round_trip_and_typos_are_typed() {
+        for policy in LlcPolicy::ALL {
+            assert_eq!(parse_llc_policy(Some(policy.name())).unwrap(), policy);
+        }
+        rejects(parse_llc_policy(Some("adaptive")), "fixed|");
+        rejects(parse_llc_policy(None), "needs a value");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! | [`fig6`]   | Fig. 6 — LR rewrite-interval distribution |
 //! | [`fig8`]   | Fig. 8 — speedup, dynamic power, total power |
 //! | [`ablations`] | beyond-paper design-space studies |
+//! | [`adaptive`] | fixed vs. runtime-adaptive LLC policies |
 //! | [`faults`]  | fault-injection sweep: error rate vs. IPC/energy/data loss |
 //! | [`workload_table`] | measured characterisation of the synthetic suite |
 
@@ -28,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod adaptive;
 pub mod cli;
 pub mod configs;
 pub mod error;

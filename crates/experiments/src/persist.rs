@@ -60,6 +60,7 @@ fn hash_plan(h: &mut StableHasher, plan: &RunPlan) {
         .bool(plan.check)
         .f64_bits(plan.fault.rate)
         .u64(plan.fault.seed)
+        .str(plan.policy.name())
         .u32(plan.sim_threads);
 }
 
@@ -551,6 +552,7 @@ mod tests {
             max_cycles: 2_000_000,
             check: false,
             fault: FaultSpec::NONE,
+            policy: sttgpu_core::LlcPolicy::Fixed,
             sim_threads: 1,
             run_timeout_s: None,
         }
@@ -643,6 +645,11 @@ mod tests {
             run_store_key(L2Choice::TwoPartC1, "lud", &plan.with_scale(0.06)),
             run_store_key(L2Choice::TwoPartC1, "lud", &plan.with_check(true)),
             run_store_key(L2Choice::TwoPartC1, "lud", &plan.with_faults(1e-4, 3)),
+            run_store_key(
+                L2Choice::TwoPartC1,
+                "lud",
+                &plan.with_policy(sttgpu_core::LlcPolicy::AdaptiveWays),
+            ),
             run_store_key(L2Choice::TwoPartC1, "lud", &plan.with_sim_threads(2)),
         ];
         for (i, v) in variants.iter().enumerate() {

@@ -19,7 +19,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use sttgpu_core::{FaultConfig, LlcModel, TwoPartStats};
+use sttgpu_core::{FaultConfig, LlcModel, LlcPolicy, TwoPartStats};
 use sttgpu_device::energy::EnergyEvent;
 use sttgpu_sim::{Gpu, GpuConfig, L2ModelConfig, RunMetrics, Workload};
 use sttgpu_stats::Histogram;
@@ -67,6 +67,11 @@ pub struct RunPlan {
     pub check: bool,
     /// Fault injection applied to two-part configurations (`--faults`).
     pub fault: FaultSpec,
+    /// Runtime LLC policy applied to two-part configurations
+    /// (`--llc-policy`). Monolithic baselines have no policy seams and
+    /// run unchanged. [`LlcPolicy::Fixed`] (the default) is the
+    /// paper-exact bundle and is byte-transparent.
+    pub policy: LlcPolicy,
     /// Threads stepping the SMs inside each simulation (`--sim-threads`).
     /// Simulation output is byte-identical for every value (the parallel
     /// driver merges in canonical order — DESIGN.md §11); it still sits
@@ -90,6 +95,7 @@ impl RunPlan {
             max_cycles: 6_000_000,
             check: false,
             fault: FaultSpec::NONE,
+            policy: LlcPolicy::Fixed,
             sim_threads: 1,
             run_timeout_s: None,
         }
@@ -102,6 +108,7 @@ impl RunPlan {
             max_cycles: 2_000_000,
             check: false,
             fault: FaultSpec::NONE,
+            policy: LlcPolicy::Fixed,
             sim_threads: 1,
             run_timeout_s: None,
         }
@@ -124,6 +131,12 @@ impl RunPlan {
     pub fn with_faults(mut self, rate: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "fault rate outside [0, 1]");
         self.fault = FaultSpec { rate, seed };
+        self
+    }
+
+    /// A plan selecting the named runtime LLC policy for two-part runs.
+    pub fn with_policy(mut self, policy: LlcPolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -241,8 +254,9 @@ fn run_config_once(
     if attempt > 0 {
         scaled.seed ^= u64::from(attempt).wrapping_mul(RETRY_SALT);
     }
-    if plan.fault.is_enabled() {
-        if let L2ModelConfig::TwoPart(tp) = &mut cfg.l2 {
+    if let L2ModelConfig::TwoPart(tp) = &mut cfg.l2 {
+        tp.policy = plan.policy;
+        if plan.fault.is_enabled() {
             let seed = plan.fault.seed ^ u64::from(attempt).wrapping_mul(RETRY_SALT);
             tp.fault = FaultConfig::uniform(seed, plan.fault.rate);
         }
@@ -402,7 +416,17 @@ pub fn run(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunOutput {
 /// Memoization key of one named-configuration run. `RunPlan` holds `f64`
 /// scale/rate fields, so the key stores their bit patterns (plans are
 /// constructed, not computed, so bit equality is the right notion here).
-type RunKey = (L2Choice, String, u64, u64, bool, u64, u64, u32);
+type RunKey = (
+    L2Choice,
+    String,
+    u64,
+    u64,
+    bool,
+    u64,
+    u64,
+    &'static str,
+    u32,
+);
 
 fn run_key(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunKey {
     (
@@ -413,6 +437,7 @@ fn run_key(choice: L2Choice, workload: &Workload, plan: &RunPlan) -> RunKey {
         plan.check,
         plan.fault.rate.to_bits(),
         plan.fault.seed,
+        plan.policy.name(),
         plan.sim_threads,
     )
 }
@@ -930,6 +955,35 @@ mod tests {
             "faulted plan must not hit the clean cache"
         );
         assert_eq!(exec.stats().runs_executed, 2);
+    }
+
+    #[test]
+    fn policy_changes_the_memo_key() {
+        let exec = Executor::new(1);
+        let w = suite::by_name("lud").expect("lud");
+        let plan = tiny_plan();
+        let a = exec.run(L2Choice::TwoPartC1, &w, &plan);
+        let b = exec.run(
+            L2Choice::TwoPartC1,
+            &w,
+            &plan.with_policy(LlcPolicy::AdaptiveRetention),
+        );
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "adaptive plan must not hit the fixed-policy cache"
+        );
+        assert_eq!(exec.stats().runs_executed, 2);
+    }
+
+    #[test]
+    fn explicit_fixed_policy_plan_is_byte_transparent() {
+        let w = suite::by_name("nw").expect("nw");
+        let plan = tiny_plan();
+        let default_run = run(L2Choice::TwoPartC1, &w, &plan);
+        let fixed = run(L2Choice::TwoPartC1, &w, &plan.with_policy(LlcPolicy::Fixed));
+        assert_eq!(default_run.metrics, fixed.metrics);
+        assert_eq!(default_run.two_part, fixed.two_part);
+        assert_eq!(default_run.write_matrix, fixed.write_matrix);
     }
 
     #[test]

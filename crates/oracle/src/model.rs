@@ -11,7 +11,10 @@
 use std::collections::BTreeMap;
 
 use sttgpu_cache::ReplacementPolicy;
-use sttgpu_core::{RetentionTracker, SearchMode, TwoPartConfig, TwoPartStats};
+use sttgpu_core::{
+    lr_maintenance_floor_ns, lr_tracker_at, PolicyEngine, RetentionTracker, SearchMode,
+    TwoPartConfig, TwoPartStats,
+};
 use sttgpu_device::array::{ArrayDesign, ArrayGeometry};
 use sttgpu_device::cell::MemTechnology;
 use sttgpu_device::mtj::{MtjDesign, RetentionTime};
@@ -47,6 +50,10 @@ struct Line {
 struct PartArray {
     sets: u64,
     ways: usize,
+    /// Ways currently in service; a partition policy may park the tail
+    /// `ways - active_ways` ways of every set (they are drained first,
+    /// so residency lookups over the full row stay correct).
+    active_ways: usize,
     slots: Vec<Option<Line>>,
     stamp: u64,
 }
@@ -56,6 +63,7 @@ impl PartArray {
         PartArray {
             sets,
             ways,
+            active_ways: ways,
             slots: vec![None; sets as usize * ways],
             stamp: 0,
         }
@@ -64,6 +72,26 @@ impl PartArray {
     fn set_range(&self, la: u64) -> std::ops::Range<usize> {
         let set = (la % self.sets) as usize;
         set * self.ways..(set + 1) * self.ways
+    }
+
+    /// The slots a fill may install into — the set's active prefix.
+    fn victim_range(&self, la: u64) -> std::ops::Range<usize> {
+        let set = (la % self.sets) as usize;
+        set * self.ways..set * self.ways + self.active_ways
+    }
+
+    /// Empties every parked way (`from_way..`), set-major, returning the
+    /// extracted lines in drain order.
+    fn drain_ways(&mut self, from_way: usize) -> Vec<Line> {
+        let mut drained = Vec::new();
+        for set in 0..self.sets as usize {
+            for way in from_way..self.ways {
+                if let Some(line) = self.slots[set * self.ways + way].take() {
+                    drained.push(line);
+                }
+            }
+        }
+        drained
     }
 
     fn slot_of(&self, la: u64) -> Option<usize> {
@@ -116,7 +144,7 @@ impl PartArray {
             }
             return None;
         }
-        let range = self.set_range(la);
+        let range = self.victim_range(la);
         let slot = range
             .clone()
             .find(|&s| self.slots[s].is_none())
@@ -193,8 +221,15 @@ impl Buffer {
 #[derive(Debug, Clone)]
 pub struct OracleLlc {
     search: SearchMode,
-    write_threshold: u32,
     refresh_slack: u64,
+    /// The same runtime policy registry the implementation embeds —
+    /// decisions are a pure function of the shared statistics and time,
+    /// so the two machines cannot take different adaptive actions
+    /// without first diverging on a compared counter.
+    engine: PolicyEngine,
+    lr_base_retention: RetentionTime,
+    lr_rc_bits: u32,
+    hr_max_ways: u32,
     lr: PartArray,
     hr: PartArray,
     lr_rc: RetentionTracker,
@@ -279,8 +314,11 @@ impl OracleLlc {
         );
         OracleLlc {
             search: cfg.search,
-            write_threshold: cfg.write_threshold,
             refresh_slack: cfg.refresh_slack_ticks as u64,
+            engine: PolicyEngine::new(cfg),
+            lr_base_retention: cfg.lr_retention,
+            lr_rc_bits: cfg.lr_rc_bits,
+            hr_max_ways: cfg.hr_ways,
             lr: PartArray::new(cfg.lr_sets(), cfg.lr_ways as usize),
             hr: PartArray::new(cfg.hr_sets(), cfg.hr_ways as usize),
             lr_rc: RetentionTracker::new(cfg.lr_retention, cfg.lr_rc_bits),
@@ -333,9 +371,12 @@ impl OracleLlc {
     /// derives (each tracker: one tick, narrowed to the deadline-to-
     /// expiry window when a rounded-up tick shrinks it).
     pub fn maintenance_interval_ns(&self) -> u64 {
-        self.lr_rc
-            .maintenance_interval_ns()
-            .min(self.hr_rc.maintenance_interval_ns())
+        lr_maintenance_floor_ns(
+            self.engine.policy(),
+            self.lr_base_retention,
+            self.lr_rc_bits,
+        )
+        .min(self.hr_rc.maintenance_interval_ns())
     }
 
     fn fresh_token(&mut self) -> u64 {
@@ -458,7 +499,7 @@ impl OracleLlc {
         self.stats.hr_write_hits += 1;
         let count = self.hr.line(la).map_or(1, |l| l.write_count);
 
-        if count >= self.write_threshold {
+        if self.engine.should_migrate(count) {
             // The migration reads the block out of HR and writes it
             // (merged with the demand data) into LR through the buffer.
             let write_done = tag_done_ns + self.hr_read_ns + self.lr_write_ns;
@@ -500,10 +541,15 @@ impl OracleLlc {
         }
         self.stats.demotions_to_hr += 1;
         self.stats.hr_array_writes += 1;
-        // Write counts restart for the new HR residency.
         let evicted = self
             .hr
             .fill(victim.la, victim.dirty, 0, victim.content, now_ns);
+        // Write counts restart for the new HR residency: `fill` counts
+        // the filling write via the dirty flag, which would leave dirty
+        // demotions one demand write ahead at thresholds 2..3.
+        if let Some(line) = self.hr.line_mut(victim.la) {
+            line.write_count = 0;
+        }
         if let Some(hr_victim) = evicted {
             self.retire(&hr_victim);
             if hr_victim.dirty {
@@ -523,7 +569,7 @@ impl OracleLlc {
         } else {
             self.dram_content(la)
         };
-        let to_lr = dirty && 1 >= self.write_threshold;
+        let to_lr = self.engine.fill_to_lr(dirty);
         if to_lr {
             self.stats.fills_to_lr += 1;
             self.stats.demand_writes_lr += 1;
@@ -555,6 +601,26 @@ impl OracleLlc {
     /// min-heaps pop in, which matters because LR refreshes compete for
     /// LR→HR buffer slots.
     pub fn maintain(&mut self, now_ns: u64) {
+        // --- Runtime policy epoch ------------------------------------
+        // Evaluated before the retention engines, exactly like the
+        // implementation's `policy_epoch` — the shared engine sees the
+        // same statistics at the same times, so its decisions coincide.
+        if !self.engine.is_fixed() {
+            let actions = self.engine.poll(
+                now_ns,
+                &self.stats,
+                self.hr.active_ways as u32,
+                self.hr_max_ways,
+                self.hr.sets,
+            );
+            if let Some(level) = actions.retention_level {
+                self.apply_retention_level(level, now_ns);
+            }
+            if let Some(ways) = actions.hr_ways {
+                self.apply_hr_ways(ways, now_ns);
+            }
+        }
+
         // --- LR refresh engine ---------------------------------------
         let slack = self.refresh_slack;
         let mut due: Vec<(u64, u64, u64)> = self
@@ -626,5 +692,36 @@ impl OracleLlc {
                 self.stats.writebacks += 1;
             }
         }
+    }
+
+    /// Switches the LR part to retention ladder `level`: swap the
+    /// tracker, then rewrite-sweep every resident LR line at `now + 1`
+    /// so its retention clock restarts under the new tracker (the same
+    /// stamp discipline the implementation uses to invalidate its
+    /// pre-switch heap entries).
+    fn apply_retention_level(&mut self, level: u32, now_ns: u64) {
+        self.lr_rc = lr_tracker_at(self.lr_base_retention, self.lr_rc_bits, level);
+        let stamp = now_ns + 1;
+        for line in self.lr.slots.iter_mut().flatten() {
+            line.written_at_ns = stamp;
+            self.stats.lr_array_writes += 1;
+        }
+    }
+
+    /// Reconfigures the HR part to `ways` active ways, draining the
+    /// parked range first on a shrink (dirty victims write back to DRAM,
+    /// clean ones drop).
+    fn apply_hr_ways(&mut self, ways: u32, now_ns: u64) {
+        let _ = now_ns;
+        let target = ways as usize;
+        if target < self.hr.active_ways {
+            for victim in self.hr.drain_ways(target) {
+                self.retire(&victim);
+                if victim.dirty {
+                    self.stats.writebacks += 1;
+                }
+            }
+        }
+        self.hr.active_ways = target;
     }
 }

@@ -1,0 +1,44 @@
+//! Per-policy differential sweep: every shipped runtime policy must
+//! keep the implementation and the reference model observationally
+//! identical across every corner geometry.
+//!
+//! The policy engine is shared between the two machines, so a
+//! divergence here means a machine applied a decision differently —
+//! exactly the class of bug the adaptive paths (rewrite sweeps, way
+//! drains, epoch clocks) can introduce.
+
+use sttgpu_core::LlcPolicy;
+use sttgpu_oracle::{corner_geometries, generate, run_case};
+
+#[test]
+fn every_policy_agrees_on_every_corner_geometry() {
+    let mut cases = 0u64;
+    for corner in corner_geometries() {
+        for policy in LlcPolicy::ALL {
+            for (round, seed) in [0x5EED_0001u64, 0xDAC0_2014, 0x0BAD_CAFE]
+                .into_iter()
+                .enumerate()
+            {
+                let cfg = corner.cfg.clone().with_policy(policy);
+                // Longer traces than the plain fuzz corners: adaptive
+                // decisions fire on 10 µs epoch crossings, so the trace
+                // must span many epochs to exercise switches.
+                let mut spec = corner.spec;
+                spec.ops = 1_200;
+                let ops = generate(seed ^ (round as u64) << 32, &spec);
+                assert_eq!(
+                    run_case(&cfg, &ops),
+                    None,
+                    "[{}/{}/seed {seed:#x}] model and implementation diverged",
+                    corner.name,
+                    policy.name(),
+                );
+                cases += 1;
+            }
+        }
+    }
+    assert!(
+        cases >= 81,
+        "acceptance floor: 9 corners x 3 policies x 3 seeds"
+    );
+}

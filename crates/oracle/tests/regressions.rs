@@ -97,6 +97,64 @@ fn dirty_fill_does_not_double_count_the_filling_write() {
 }
 
 #[test]
+fn demoted_dirty_line_restarts_its_hr_write_count() {
+    // Shrinker output for the demotion write-count seeding bug: `demote`
+    // and `rotate_lr` handed the victim's dirty bit to `fill_with`,
+    // whose line constructor counts the filling write — so a *dirty*
+    // demoted line re-entered HR at count 1 instead of 0. At threshold
+    // 2 its first post-demotion demand write reached 2 and migrated one
+    // write early; `lr_resident` diverged on the final op.
+    //
+    // LR at this shape is 32 lines / 2-way / 16 sets, so lines 1, 17
+    // and 33 share an LR set: two migrations fill the set, the third
+    // demotes line 1 (dirty) back to HR.
+    let cfg = paper_shape().with_write_threshold(2);
+    let mut trace: Vec<Op> = Vec::new();
+    for line in [1u64, 17, 33] {
+        // Dirty fill (write 1, stays HR at TH=2) + second write
+        // (migrates to LR).
+        trace.push(Op {
+            dt_ns: 1,
+            line,
+            write: true,
+        });
+        trace.push(Op {
+            dt_ns: 1,
+            line,
+            write: true,
+        });
+    }
+    // Line 1 was demoted dirty. One demand write must *not* migrate it
+    // (count restarts at 0 → this write is 1 of 2).
+    trace.push(Op {
+        dt_ns: 1,
+        line: 1,
+        write: true,
+    });
+    assert_eq!(run_case(&cfg, &trace), None);
+
+    let llc = replay(&cfg, &trace);
+    assert!(
+        llc.hr_contains(256),
+        "write 1 of 2 after demotion must stay in HR"
+    );
+    assert!(!llc.lr_contains(256));
+    assert_eq!(llc.stats().migrations_to_lr, 3);
+    assert_eq!(llc.stats().demotions_to_hr, 1);
+
+    // The second post-demotion write is the legitimate trigger.
+    trace.push(Op {
+        dt_ns: 1,
+        line: 1,
+        write: true,
+    });
+    assert_eq!(run_case(&cfg, &trace), None);
+    let llc = replay(&cfg, &trace);
+    assert!(llc.lr_contains(256), "write 2 of 2 migrates again");
+    assert_eq!(llc.stats().migrations_to_lr, 4);
+}
+
+#[test]
 fn rounded_retention_tick_refreshes_instead_of_expiring() {
     // 1000 ns LR retention / 4-bit counter: the truncated tick (62 ns)
     // under-covered the retention period and the naive rounded-up tick

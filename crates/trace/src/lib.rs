@@ -301,6 +301,24 @@ pub enum TraceEvent {
         /// Total dynamic energy, nJ.
         total_nj: f64,
     },
+    /// A runtime-adaptive LLC policy reconfigured `part` — a retention
+    /// ladder step (LR) or a way reallocation (HR). Carries the *new*
+    /// retention windows so a consuming [`Checker`] can retire the stale
+    /// bounds it was configured with; zero fields mean "unchanged".
+    PolicySwitch {
+        /// Part that was reconfigured.
+        part: PartId,
+        /// New LR retention period (hit-age limit), ns; 0 = unchanged.
+        lr_max_hit_age_ns: u64,
+        /// New start of the LR refresh tail, ns; 0 = unchanged.
+        lr_tail_start_ns: u64,
+        /// New minimum LR expiry age, ns; 0 = unchanged.
+        lr_min_expire_age_ns: u64,
+        /// New number of active HR ways; 0 = unchanged.
+        active_ways: u32,
+        /// Simulated time, ns.
+        now_ns: u64,
+    },
     /// The measurement window was reset (counters and energy restart;
     /// residency and outstanding state carry over).
     ResetMeasurement,
@@ -540,6 +558,17 @@ pub fn to_json(ev: &TraceEvent) -> String {
                 cats.join(",")
             )
         }
+        PolicySwitch {
+            part,
+            lr_max_hit_age_ns,
+            lr_tail_start_ns,
+            lr_min_expire_age_ns,
+            active_ways,
+            now_ns,
+        } => format!(
+            "{{\"ev\":\"policy_switch\",\"part\":\"{}\",\"lr_max_hit_age_ns\":{lr_max_hit_age_ns},\"lr_tail_start_ns\":{lr_tail_start_ns},\"lr_min_expire_age_ns\":{lr_min_expire_age_ns},\"active_ways\":{active_ways},\"now_ns\":{now_ns}}}",
+            json_escape_free(part.name())
+        ),
         ResetMeasurement => "{\"ev\":\"reset_measurement\"}".to_string(),
     }
 }
@@ -1019,6 +1048,28 @@ impl EventSink for Checker {
                     ));
                 }
             }
+            PolicySwitch {
+                lr_max_hit_age_ns,
+                lr_tail_start_ns,
+                lr_min_expire_age_ns,
+                ..
+            } => {
+                // A retention switch rewrites every resident LR line (the
+                // stream shows the array writes as energy deposits), so the
+                // stale windows configured at run start must be retired here
+                // — otherwise every later tail refresh under a longer
+                // retention period would be flagged against the old bounds.
+                if lr_max_hit_age_ns > 0 {
+                    if lr_tail_start_ns >= lr_max_hit_age_ns {
+                        self.violate(format!(
+                            "policy switch announces an empty refresh tail: start {lr_tail_start_ns}ns >= retention {lr_max_hit_age_ns}ns"
+                        ));
+                    }
+                    self.cfg.lr_max_hit_age_ns = lr_max_hit_age_ns;
+                    self.cfg.lr_tail_start_ns = lr_tail_start_ns;
+                    self.cfg.lr_min_expire_age_ns = lr_min_expire_age_ns;
+                }
+            }
             ResetMeasurement => {
                 self.read_hits = 0;
                 self.read_misses = 0;
@@ -1460,6 +1511,103 @@ mod tests {
             "{\"ev\":\"miss\",\"la\":16,\"write\":true,\"now_ns\":99}"
         );
         assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn policy_switch_retires_stale_retention_windows() {
+        // After a runtime retention-ladder step the LR period doubles; a
+        // tail refresh timed for the *new* window is legal, but a checker
+        // still holding the run-start bounds would flag it as refreshing
+        // an already-expired line. The PolicySwitch event carries the new
+        // windows so the checker follows the reconfiguration.
+        let stream = |switched: bool| {
+            let mut evs = vec![TraceEvent::Fill {
+                part: PartId::Lr,
+                la: 1,
+                now_ns: 0,
+            }];
+            if switched {
+                evs.push(TraceEvent::PolicySwitch {
+                    part: PartId::Lr,
+                    lr_max_hit_age_ns: 2000,
+                    lr_tail_start_ns: 1600,
+                    lr_min_expire_age_ns: 2000,
+                    active_ways: 0,
+                    now_ns: 500,
+                });
+            }
+            evs.push(TraceEvent::Refresh {
+                la: 1,
+                written_at_ns: 501,
+                now_ns: 2200,
+            });
+            evs
+        };
+        let stale = checked(retention_cfg(), &stream(false));
+        assert_eq!(stale.violations, 1, "{:?}", stale.samples);
+        assert!(stale.samples[0].contains("already-expired"));
+        let followed = checked(retention_cfg(), &stream(true));
+        assert!(followed.is_clean(), "{:?}", followed.samples);
+    }
+
+    #[test]
+    fn policy_switch_with_empty_tail_is_flagged() {
+        let r = checked(
+            retention_cfg(),
+            &[TraceEvent::PolicySwitch {
+                part: PartId::Lr,
+                lr_max_hit_age_ns: 1000,
+                lr_tail_start_ns: 1000,
+                lr_min_expire_age_ns: 1000,
+                active_ways: 0,
+                now_ns: 0,
+            }],
+        );
+        assert_eq!(r.violations, 1);
+        assert!(r.samples[0].contains("empty refresh tail"));
+    }
+
+    #[test]
+    fn hr_way_policy_switch_leaves_lr_windows_alone() {
+        let r = checked(
+            retention_cfg(),
+            &[
+                TraceEvent::Fill {
+                    part: PartId::Lr,
+                    la: 2,
+                    now_ns: 0,
+                },
+                TraceEvent::PolicySwitch {
+                    part: PartId::Hr,
+                    lr_max_hit_age_ns: 0,
+                    lr_tail_start_ns: 0,
+                    lr_min_expire_age_ns: 0,
+                    active_ways: 4,
+                    now_ns: 100,
+                },
+                TraceEvent::Refresh {
+                    la: 2,
+                    written_at_ns: 0,
+                    now_ns: 900,
+                },
+            ],
+        );
+        assert!(r.is_clean(), "{:?}", r.samples);
+    }
+
+    #[test]
+    fn policy_switch_renders_as_json() {
+        assert_eq!(
+            to_json(&TraceEvent::PolicySwitch {
+                part: PartId::Hr,
+                lr_max_hit_age_ns: 0,
+                lr_tail_start_ns: 0,
+                lr_min_expire_age_ns: 0,
+                active_ways: 5,
+                now_ns: 42,
+            }),
+            "{\"ev\":\"policy_switch\",\"part\":\"HR\",\"lr_max_hit_age_ns\":0,\"lr_tail_start_ns\":0,\"lr_min_expire_age_ns\":0,\"active_ways\":5,\"now_ns\":42}"
+        );
     }
 
     #[test]
